@@ -1,0 +1,237 @@
+// Package bcclap is a Go implementation of "The Laplacian Paradigm in the
+// Broadcast Congested Clique" (Forster, de Vos; PODC 2022): spectral
+// sparsification and Laplacian solving in broadcast models, a Lee–Sidford
+// style linear program solver built on those primitives, and an exact
+// minimum-cost maximum-flow algorithm running in Õ(√n) simulated rounds.
+//
+// The package re-exports the pipeline end-to-end:
+//
+//	Sparsify        — (1±ε) spectral sparsifiers in Broadcast CONGEST (Thm 1.2)
+//	NewLaplacianSolver — high-precision Laplacian solving in the BCC (Thm 1.3)
+//	SolveLP         — LPs with Õ(√n·log(U/ε)) path steps (Thm 1.4)
+//	MinCostMaxFlow  — exact min-cost max-flow (Thm 1.1)
+//
+// Every entry point optionally runs against the round-accounting simulator
+// in internal/sim so that the paper's round-complexity claims can be
+// measured; see EXPERIMENTS.md for the measured-vs-claimed record.
+package bcclap
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bcclap/internal/flow"
+	"bcclap/internal/graph"
+	"bcclap/internal/lapsolver"
+	"bcclap/internal/lp"
+	"bcclap/internal/sim"
+	"bcclap/internal/sparsify"
+)
+
+// Graph is a weighted undirected multigraph (re-exported from the graph
+// substrate).
+type Graph = graph.Graph
+
+// Digraph is a directed graph with integer capacities and costs.
+type Digraph = graph.Digraph
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NewDigraph returns an empty directed graph on n vertices.
+func NewDigraph(n int) *Digraph { return graph.NewDigraph(n) }
+
+// Network is the synchronous broadcast-round simulator.
+type Network = sim.Network
+
+// NewBCCNetwork returns a Broadcast Congested Clique network on n vertices
+// with the standard Θ(log n) bandwidth.
+func NewBCCNetwork(n int) (*Network, error) {
+	return sim.NewNetwork(sim.Config{N: n, Mode: sim.ModeBCC})
+}
+
+// NewBroadcastCONGESTNetwork returns a Broadcast CONGEST network over the
+// topology of g.
+func NewBroadcastCONGESTNetwork(g *Graph) (*Network, error) {
+	adj := make([][]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		adj[v] = g.Neighbors(v)
+	}
+	return sim.NewNetwork(sim.Config{N: g.N(), Mode: sim.ModeBroadcastCONGEST, Adjacency: adj})
+}
+
+// SparsifyParams re-exports the sparsifier parameters (bundle size t,
+// stretch parameter k, iteration count).
+type SparsifyParams = sparsify.Params
+
+// PaperSparsifyParams returns the constants of Algorithm 5 verbatim
+// (t = 400·log²n/ε² — astronomically conservative; see EXPERIMENTS.md).
+func PaperSparsifyParams(n, m int, eps float64) SparsifyParams {
+	return sparsify.PaperParams(n, m, eps)
+}
+
+// PracticalSparsifyParams keeps the paper's parameter shapes with a
+// constant that compresses at experiment scale.
+func PracticalSparsifyParams(n, m int, eps float64) SparsifyParams {
+	return sparsify.PracticalParams(n, m, eps)
+}
+
+// SparsifyOptions configures Sparsify.
+type SparsifyOptions struct {
+	// Params overrides the sparsifier parameters (zero selects
+	// PracticalParams; use sparsify.PaperParams for the proof constants).
+	Params sparsify.Params
+	// Seed drives all randomness.
+	Seed int64
+	// Net, if non-nil, receives Broadcast CONGEST round accounting.
+	Net *Network
+}
+
+// SparsifyResult is a computed spectral sparsifier.
+type SparsifyResult struct {
+	// H is the reweighted sparsifier.
+	H *Graph
+	// KeptEdges maps H's edges to indices in the input graph.
+	KeptEdges []int
+	// MaxOutDegree is the orientation bound of Theorem 1.2.
+	MaxOutDegree int
+	// Rounds is the simulated round cost (0 without Net).
+	Rounds int
+}
+
+// Sparsify computes a spectral sparsifier of g with the paper's ad-hoc
+// sampling algorithm (Algorithm 5 / Theorem 1.2).
+func Sparsify(g *Graph, eps float64, opts SparsifyOptions) (*SparsifyResult, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("bcclap: empty graph")
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("bcclap: eps must be positive, got %g", eps)
+	}
+	par := opts.Params
+	if par.K == 0 {
+		par = sparsify.PracticalParams(g.N(), g.M(), eps)
+	}
+	rnd := rand.New(rand.NewSource(opts.Seed + 1))
+	res := sparsify.Adhoc(g, par, rnd, opts.Net)
+	return &SparsifyResult{
+		H:            res.H,
+		KeptEdges:    res.KeptEdges,
+		MaxOutDegree: res.MaxOutDegree(),
+		Rounds:       res.Rounds,
+	}, nil
+}
+
+// SparsifierQuality estimates the spectral band (lo, hi) with
+// lo·L_H ≼ L_G ≼ hi·L_H over probed directions.
+func SparsifierQuality(g, h *Graph, seed int64) (lo, hi float64) {
+	return sparsify.Quality(g, h, 6, rand.New(rand.NewSource(seed+7)))
+}
+
+// LaplacianSolver answers systems L_G x = b after a one-time sparsifier
+// preprocessing (Theorem 1.3).
+type LaplacianSolver struct {
+	inner *lapsolver.Solver
+}
+
+// LaplacianSolveStats mirrors the per-instance costs of Theorem 1.3.
+type LaplacianSolveStats = lapsolver.Stats
+
+// NewLaplacianSolver preprocesses g (connected) for repeated solving.
+func NewLaplacianSolver(g *Graph, seed int64, net *Network) (*LaplacianSolver, error) {
+	s, err := lapsolver.New(g, lapsolver.Config{
+		Rand: rand.New(rand.NewSource(seed + 3)),
+		Net:  net,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LaplacianSolver{inner: s}, nil
+}
+
+// PreprocessRounds returns the rounds consumed by preprocessing.
+func (s *LaplacianSolver) PreprocessRounds() int { return s.inner.PreprocessRounds }
+
+// Sparsifier returns the sparsifier used for preconditioning.
+func (s *LaplacianSolver) Sparsifier() *Graph { return s.inner.Sparsifier() }
+
+// Solve returns y with ‖x − y‖_{L_G} ≤ ε‖x‖_{L_G} for L_G x = b.
+func (s *LaplacianSolver) Solve(b []float64, eps float64) ([]float64, LaplacianSolveStats, error) {
+	return s.inner.Solve(b, eps)
+}
+
+// LPProblem is the linear program min cᵀx s.t. Aᵀx = b, l ≤ x ≤ u.
+type LPProblem = lp.Problem
+
+// LPParams tunes the interior-point method.
+type LPParams = lp.Params
+
+// LPSolution is the solver output.
+type LPSolution = lp.Solution
+
+// SolveLP runs the Lee–Sidford-style solver of Theorem 1.4 from the given
+// strictly feasible x0.
+func SolveLP(prob *LPProblem, x0 []float64, eps float64, par LPParams) (*LPSolution, error) {
+	return lp.Solve(prob, x0, eps, par)
+}
+
+// FlowOptions configures MinCostMaxFlow.
+type FlowOptions struct {
+	// UseGremban routes the LP's linear-system solves through the Gremban
+	// reduction to Laplacian systems (Lemma 5.1) instead of the dense
+	// reference solver.
+	UseGremban bool
+	// Seed drives the Daitch–Spielman perturbations.
+	Seed int64
+	// Net, if non-nil, receives round accounting.
+	Net *Network
+}
+
+// FlowResult is an exact minimum-cost maximum flow.
+type FlowResult struct {
+	// Value is the maximum flow value and Cost its minimum cost.
+	Value, Cost int64
+	// Flows gives the integral flow per arc (indexed like d.Arcs()).
+	Flows []int64
+	// PathSteps is the interior-point iteration count (the Õ(√n) of
+	// Theorem 1.1).
+	PathSteps int
+	// Rounds is the simulated round cost (0 without Net).
+	Rounds int
+}
+
+// MinCostMaxFlow computes an exact minimum-cost maximum s-t flow with the
+// paper's LP pipeline (Theorem 1.1). The result is certified internally
+// (feasibility, maximality, cost optimality) before being returned.
+func MinCostMaxFlow(d *Digraph, s, t int, opts FlowOptions) (*FlowResult, error) {
+	mode := flow.SolverDense
+	if opts.UseGremban {
+		mode = flow.SolverGremban
+	}
+	res, err := flow.MinCostMaxFlow(d, s, t, flow.Options{
+		Solver: mode,
+		Rand:   rand.New(rand.NewSource(opts.Seed + 11)),
+		Net:    opts.Net,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FlowResult{
+		Value:     res.Value,
+		Cost:      res.Cost,
+		Flows:     res.Flows,
+		PathSteps: res.LPStats.PathSteps,
+		Rounds:    res.Rounds,
+	}, nil
+}
+
+// MinCostMaxFlowBaseline runs the combinatorial successive-shortest-paths
+// baseline (exact, centralized) used by the experiments for verification.
+func MinCostMaxFlowBaseline(d *Digraph, s, t int) (value, cost int64, flows []int64, err error) {
+	return flow.MinCostMaxFlowSSP(d, s, t)
+}
+
+// MaxFlow computes a maximum s-t flow with Dinic's algorithm.
+func MaxFlow(d *Digraph, s, t int) (int64, []int64, error) {
+	return flow.MaxFlow(d, s, t)
+}

@@ -1,0 +1,441 @@
+// Command bcclap-experiments regenerates every experiment table recorded
+// in EXPERIMENTS.md: for each theorem/lemma of the paper it sweeps the
+// relevant parameter, measures the bounded quantity (size, stretch,
+// rounds, iterations, approximation band), and prints it next to the
+// paper's bound so the scaling shape can be inspected directly.
+//
+// Usage:
+//
+//	bcclap-experiments            # run everything
+//	bcclap-experiments -exp e3    # one experiment
+//	bcclap-experiments -quick     # smaller sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+
+	"bcclap/internal/flow"
+	"bcclap/internal/graph"
+	"bcclap/internal/jl"
+	"bcclap/internal/lapsolver"
+	"bcclap/internal/linalg"
+	"bcclap/internal/lp"
+	"bcclap/internal/sim"
+	"bcclap/internal/spanner"
+	"bcclap/internal/sparsify"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (e1..e12 or all)")
+	quick := flag.Bool("quick", false, "smaller sweeps")
+	flag.Parse()
+	if err := run(*exp, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "bcclap-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, quick bool) error {
+	all := map[string]func(bool) error{
+		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6,
+		"e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11, "e12": e12,
+	}
+	if exp == "all" {
+		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"} {
+			if err := all[id](quick); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+		}
+		return nil
+	}
+	f, ok := all[strings.ToLower(exp)]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return f(quick)
+}
+
+func header(id, claim string) {
+	fmt.Printf("\n## %s — %s\n\n", strings.ToUpper(id), claim)
+}
+
+func bcNet(g *graph.Graph) *sim.Network {
+	adj := make([][]int, g.N())
+	for v := range adj {
+		adj[v] = g.Neighbors(v)
+	}
+	net, err := sim.NewNetwork(sim.Config{N: g.N(), Mode: sim.ModeBroadcastCONGEST, Adjacency: adj})
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+// e1: spanner stretch + size vs Lemma 3.1.
+func e1(quick bool) error {
+	header("e1", "Lemma 3.1: stretch ≤ 2k−1, |F⁺| = O(k·n^{1+1/k})")
+	ns := []int{16, 32, 48}
+	if quick {
+		ns = []int{16, 32}
+	}
+	fmt.Println("| graph | n | k | 2k-1 | stretch | edges | k·n^{1+1/k} |")
+	fmt.Println("|---|---|---|---|---|---|---|")
+	for _, n := range ns {
+		for _, k := range []int{2, 3} {
+			g := graph.Complete(n)
+			var worstStretch, avgEdges float64
+			const runs = 3
+			for seed := int64(0); seed < runs; seed++ {
+				res := spanner.Run(g, nil, nil, k, spanner.Options{
+					MarkRand: rand.New(rand.NewSource(seed)),
+					EdgeRand: rand.New(rand.NewSource(seed + 50)),
+				})
+				s := g.Subgraph(res.FPlus)
+				if st := graph.Stretch(g, s); st > worstStretch {
+					worstStretch = st
+				}
+				avgEdges += float64(len(res.FPlus)) / runs
+			}
+			bound := float64(k) * math.Pow(float64(n), 1+1/float64(k))
+			fmt.Printf("| K%d | %d | %d | %d | %.2f | %.0f | %.0f |\n",
+				n, n, k, 2*k-1, worstStretch, avgEdges, bound)
+		}
+	}
+	return nil
+}
+
+// e2: spanner rounds vs Lemma 3.2.
+func e2(quick bool) error {
+	header("e2", "Lemma 3.2: rounds O(k·n^{1/k}(log n + log W))")
+	ns := []int{16, 32, 64}
+	if quick {
+		ns = []int{16, 32}
+	}
+	fmt.Println("| n | k | measured rounds | k·n^{1/k}·log n |")
+	fmt.Println("|---|---|---|---|")
+	for _, n := range ns {
+		k := 3
+		g := graph.Complete(n)
+		net := bcNet(g)
+		spanner.Run(g, nil, nil, k, spanner.Options{
+			MarkRand: rand.New(rand.NewSource(1)),
+			EdgeRand: rand.New(rand.NewSource(2)),
+			Net:      net,
+		})
+		bound := float64(k) * math.Pow(float64(n), 1/float64(k)) * math.Log2(float64(n))
+		fmt.Printf("| %d | %d | %d | %.0f |\n", n, k, net.Rounds(), bound)
+	}
+	return nil
+}
+
+// e3: sparsifier quality/size/rounds vs Theorem 1.2.
+func e3(quick bool) error {
+	header("e3", "Theorem 1.2: (1±ε) quality band, size, BC rounds")
+	ns := []int{24, 32, 48}
+	if quick {
+		ns = []int{24, 32}
+	}
+	fmt.Println("| n | m | t | kept | band lo | band hi | rounds |")
+	fmt.Println("|---|---|---|---|---|---|---|")
+	for _, n := range ns {
+		rnd := rand.New(rand.NewSource(int64(n)))
+		g := graph.RandomConnected(n, 0.6, 3, rnd)
+		for _, t := range []int{1, 2, 4} {
+			par := sparsify.Params{K: 4, T: t, Iterations: 6}
+			net := bcNet(g)
+			res := sparsify.Adhoc(g, par, rand.New(rand.NewSource(int64(n*10+t))), net)
+			lo, hi := sparsify.Quality(g, res.H, 5, rand.New(rand.NewSource(5)))
+			fmt.Printf("| %d | %d | %d | %d | %.3f | %.3f | %d |\n",
+				n, g.M(), t, res.H.M(), lo, hi, res.Rounds)
+		}
+	}
+	return nil
+}
+
+// e4: Lemma 3.3 distributional equality.
+func e4(quick bool) error {
+	header("e4", "Lemma 3.3: ad-hoc ≡ a-priori output distribution")
+	trials := 400
+	if quick {
+		trials = 100
+	}
+	g := graph.Cycle(8)
+	for i := 0; i < 4; i++ {
+		if _, err := g.AddEdge(i, i+4, 1); err != nil {
+			return err
+		}
+	}
+	par := sparsify.Params{K: 2, T: 1, Iterations: 3}
+	var sizeA, sizeB float64
+	for i := 0; i < trials; i++ {
+		ra := sparsify.Adhoc(g, par, rand.New(rand.NewSource(int64(2*i+1))), nil)
+		rb := sparsify.Apriori(g, par, rand.New(rand.NewSource(int64(2*i+2))))
+		sizeA += float64(ra.H.M())
+		sizeB += float64(rb.H.M())
+	}
+	fmt.Printf("| algorithm | mean sparsifier size over %d trials |\n|---|---|\n", trials)
+	fmt.Printf("| ad-hoc (Alg 5) | %.3f |\n", sizeA/float64(trials))
+	fmt.Printf("| a-priori (Alg 4) | %.3f |\n", sizeB/float64(trials))
+	return nil
+}
+
+// e5: Laplacian solver iterations/rounds vs Theorem 1.3.
+func e5(quick bool) error {
+	header("e5", "Theorem 1.3: O(log 1/ε) iterations; per-instance ≪ preprocessing rounds")
+	g := graph.Grid(6, 6)
+	net, err := sim.NewNetwork(sim.Config{N: g.N(), Mode: sim.ModeBCC})
+	if err != nil {
+		return err
+	}
+	s, err := lapsolver.New(g, lapsolver.Config{Rand: rand.New(rand.NewSource(1)), Net: net})
+	if err != nil {
+		return err
+	}
+	rnd := rand.New(rand.NewSource(2))
+	b := make([]float64, g.N())
+	for i := range b {
+		b[i] = rnd.NormFloat64()
+	}
+	b = linalg.ProjectOutOnes(b)
+	want, err := lapsolver.SolveExact(g, b)
+	if err != nil {
+		return err
+	}
+	normX := math.Sqrt(linalg.LaplacianQuadForm(g.WEdges(), want))
+	fmt.Printf("preprocessing rounds: %d\n\n", s.PreprocessRounds)
+	fmt.Println("| ε | iterations | rounds | ‖x−y‖_L / ‖x‖_L |")
+	fmt.Println("|---|---|---|---|")
+	epss := []float64{1e-2, 1e-4, 1e-6, 1e-8}
+	if quick {
+		epss = []float64{1e-2, 1e-6}
+	}
+	for _, eps := range epss {
+		y, st, err := s.Solve(b, eps)
+		if err != nil {
+			return err
+		}
+		rel := lapsolver.ErrorInLNorm(g, want, y) / normX
+		fmt.Printf("| %.0e | %d | %d | %.2e |\n", eps, st.Iterations, st.Rounds, rel)
+	}
+	return nil
+}
+
+// e6: leverage scores, JL vs exact.
+func e6(quick bool) error {
+	header("e6", "Lemma 4.5: Kane–Nelson leverage scores within (1±η)")
+	rnd := rand.New(rand.NewSource(3))
+	m, n := 60, 6
+	if quick {
+		m = 30
+	}
+	var ts []linalg.Triple
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			ts = append(ts, linalg.Triple{Row: i, Col: j, Val: rnd.NormFloat64()})
+		}
+	}
+	a := linalg.NewCSR(m, n, ts)
+	d := linalg.Ones(m)
+	mul, mulT := jl.DiagScaledOps(a, d)
+	solve, err := jl.DenseGramSolver(a, d)
+	if err != nil {
+		return err
+	}
+	exact, err := jl.LeverageScoresExact(mul, mulT, m, n, solve)
+	if err != nil {
+		return err
+	}
+	fmt.Println("| sketch dim k | max relative error | solves (vs m exact) |")
+	fmt.Println("|---|---|---|")
+	for _, k := range []int{8, 16, 32, 64} {
+		sk, err := jl.NewKaneNelson(k, m, 0, int64(k))
+		if err != nil {
+			return err
+		}
+		approx, err := jl.LeverageScoresApprox(mul, mulT, m, n, solve, sk)
+		if err != nil {
+			return err
+		}
+		var worst float64
+		for i := range exact {
+			if exact[i] < 1e-9 {
+				continue
+			}
+			if r := math.Abs(approx[i]-exact[i]) / exact[i]; r > worst {
+				worst = r
+			}
+		}
+		fmt.Printf("| %d | %.3f | %d vs %d |\n", sk.K(), worst, sk.K(), m)
+	}
+	return nil
+}
+
+// e7: mixed-ball projection correctness + round scaling.
+func e7(quick bool) error {
+	header("e7", "Lemma 4.10: projection rounds grow polylog in m")
+	ms := []int{64, 256, 1024}
+	if quick {
+		ms = []int{64, 256}
+	}
+	fmt.Println("| m | rounds | naive (≈ m) |")
+	fmt.Println("|---|---|---|")
+	for _, m := range ms {
+		rnd := rand.New(rand.NewSource(int64(m)))
+		a := make([]float64, m)
+		l := make([]float64, m)
+		for i := range a {
+			a[i] = rnd.NormFloat64()
+			l[i] = 0.5 + rnd.Float64()
+		}
+		net, err := sim.NewNetwork(sim.Config{N: m, Mode: sim.ModeBCC})
+		if err != nil {
+			return err
+		}
+		lp.ProjectMixedBall(a, l, net)
+		fmt.Printf("| %d | %d | %d |\n", m, net.Rounds(), m)
+	}
+	return nil
+}
+
+// e8: LP path steps ∝ √n.
+func e8(quick bool) error {
+	header("e8", "Theorem 1.4: path steps = Õ(√n·log(U/ε))")
+	ns := []int{1, 4, 9, 16}
+	if quick {
+		ns = []int{1, 4, 9}
+	}
+	fmt.Println("| n | path steps | steps/√n |")
+	fmt.Println("|---|---|---|")
+	for _, n := range ns {
+		m := 3 * n
+		var ts []linalg.Triple
+		c := make([]float64, m)
+		for blk := 0; blk < n; blk++ {
+			for j := 0; j < 3; j++ {
+				row := 3*blk + j
+				ts = append(ts, linalg.Triple{Row: row, Col: blk, Val: 1})
+				c[row] = float64(j + 1)
+			}
+		}
+		prob := &lp.Problem{
+			A: linalg.NewCSR(m, n, ts),
+			B: linalg.Ones(n),
+			C: c,
+			L: make([]float64, m),
+			U: linalg.Ones(m),
+		}
+		sol, err := lp.Solve(prob, linalg.Constant(m, 1.0/3), 0.1, lp.Params{Seed: 1})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("| %d | %d | %.1f |\n", n, sol.PathSteps, float64(sol.PathSteps)/math.Sqrt(float64(n)))
+	}
+	return nil
+}
+
+// e9: exact min-cost max-flow, LP pipeline vs SSP.
+func e9(quick bool) error {
+	header("e9", "Theorem 1.1: exact MCMF via the LP pipeline (vs SSP baseline)")
+	trials := 6
+	if quick {
+		trials = 3
+	}
+	fmt.Println("| trial | n | m | value | cost | = baseline | LP path steps |")
+	fmt.Println("|---|---|---|---|---|---|---|")
+	for trial := 0; trial < trials; trial++ {
+		rnd := rand.New(rand.NewSource(int64(trial + 1)))
+		d := graph.RandomFlowNetwork(6, 0.3, 3, 3, rnd)
+		wantV, wantC, _, err := flow.MinCostMaxFlowSSP(d, 0, d.N()-1)
+		if err != nil {
+			return err
+		}
+		res, err := flow.MinCostMaxFlow(d, 0, d.N()-1, flow.Options{Rand: rand.New(rand.NewSource(int64(trial + 100)))})
+		if err != nil {
+			return err
+		}
+		match := "yes"
+		if res.Value != wantV || res.Cost != wantC {
+			match = "NO"
+		}
+		fmt.Printf("| %d | %d | %d | %d | %d | %s | %d |\n",
+			trial, d.N(), d.M(), res.Value, res.Cost, match, res.LPStats.PathSteps)
+	}
+	return nil
+}
+
+// e10: Gremban reduction accuracy.
+func e10(quick bool) error {
+	header("e10", "Lemma 5.1: SDD solving through the 2n-vertex Laplacian reduction")
+	ns := []int{8, 16, 32}
+	if quick {
+		ns = []int{8, 16}
+	}
+	fmt.Println("| n | relative error vs dense |")
+	fmt.Println("|---|---|")
+	for _, n := range ns {
+		rnd := rand.New(rand.NewSource(int64(n)))
+		g := graph.RandomConnected(n, 0.4, 3, rnd)
+		m := g.Laplacian().Dense()
+		for i := 0; i < n; i++ {
+			m.Inc(i, i, 0.5+rnd.Float64())
+		}
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = rnd.NormFloat64()
+		}
+		want, err := m.Solve(y)
+		if err != nil {
+			return err
+		}
+		got, err := lapsolver.SDDSolve(m, y, lapsolver.CGLapSolve)
+		if err != nil {
+			return err
+		}
+		rel := linalg.Norm2(linalg.Sub(got, want)) / (1 + linalg.Norm2(want))
+		fmt.Printf("| %d | %.2e |\n", n, rel)
+	}
+	return nil
+}
+
+// e11: bundle size ablation.
+func e11(quick bool) error {
+	header("e11", "Ablation: bundle size t vs sparsifier size and quality")
+	rnd := rand.New(rand.NewSource(11))
+	n := 40
+	if quick {
+		n = 28
+	}
+	g := graph.RandomConnected(n, 0.6, 2, rnd)
+	fmt.Println("| t | kept edges | band lo | band hi |")
+	fmt.Println("|---|---|---|---|")
+	for _, t := range []int{1, 2, 4, 8} {
+		par := sparsify.Params{K: 4, T: t, Iterations: 6}
+		res := sparsify.Adhoc(g, par, rand.New(rand.NewSource(int64(t))), nil)
+		lo, hi := sparsify.Quality(g, res.H, 5, rand.New(rand.NewSource(7)))
+		fmt.Printf("| %d | %d | %.3f | %.3f |\n", t, res.H.M(), lo, hi)
+	}
+	return nil
+}
+
+// e12: orientation out-degree vs naive globalization.
+func e12(quick bool) error {
+	header("e12", "Theorem 1.2's orientation: globalization rounds = max out-degree")
+	ns := []int{24, 40}
+	if quick {
+		ns = []int{24}
+	}
+	fmt.Println("| n | sparsifier edges (naive rounds) | max out-degree (oriented rounds) |")
+	fmt.Println("|---|---|---|")
+	for _, n := range ns {
+		g := graph.Complete(n)
+		par := sparsify.Params{K: 4, T: 2, Iterations: 6}
+		res := sparsify.Adhoc(g, par, rand.New(rand.NewSource(int64(n))), nil)
+		fmt.Printf("| %d | %d | %d |\n", n, res.H.M(), res.MaxOutDegree())
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package flow
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bcclap/internal/graph"
+	"bcclap/internal/lapsolver"
+	"bcclap/internal/linalg"
+	"bcclap/internal/lp"
+)
+
+// LPForm is the auxiliary linear program of Section 5 for a min-cost
+// max-flow instance: variables (x ∈ R^m, y, z ∈ R^{n'}, F ∈ R) with
+// n' = |V|−1 (the source row of the incidence matrix is omitted),
+// constraints Bx + y − z − F·e_t = 0, box bounds, and objective
+// q̃ᵀx + λ(1ᵀy + 1ᵀz) − flowBonus·F.
+type LPForm struct {
+	D    *graph.Digraph
+	S, T int
+
+	Prob *lp.Problem
+	X0   []float64
+
+	// Perturbed integer costs q̃ (Daitch–Spielman), and the scale by which
+	// original costs were multiplied before perturbing.
+	QTilde    []int64
+	CostScale int64
+
+	// Index layout inside the variable vector.
+	NPrime int // |V|−1
+	OffY   int
+	OffZ   int
+	OffF   int
+
+	// Big-M constants actually used (see the comment in NewLPForm).
+	Lambda    float64
+	FlowBonus float64
+}
+
+// vertexIndex maps original vertex ids to LP row ids, skipping the source.
+func vertexIndex(n, s int) (idx []int) {
+	idx = make([]int, n)
+	j := 0
+	for v := 0; v < n; v++ {
+		if v == s {
+			idx[v] = -1
+			continue
+		}
+		idx[v] = j
+		j++
+	}
+	return idx
+}
+
+// NewLPForm builds the LP. The Daitch–Spielman perturbation multiplies all
+// costs by 4m²M² and adds an independent uniform integer from [1, 2mM] to
+// each arc, which makes the optimum unique with probability ≥ 1/2; rnd
+// drives the perturbation (callers retry with fresh randomness on
+// certification failure, the boosting of the paper's footnote 7).
+//
+// Big-M constants: the paper's λ = 440m⁴M̃²M³ and flow bonus 2n·M̃ certify
+// exactness in exact arithmetic but overflow float64's 53-bit mantissa for
+// any interesting instance. We use the smallest constants with the same
+// one-way domination chain (flowBonus > any achievable routing cost,
+// λ > flowBonus's worth of slack), which preserves the argument: slack is
+// never worth buying, and flow units always are.
+func NewLPForm(d *graph.Digraph, s, t int, rnd *rand.Rand) (*LPForm, error) {
+	if err := checkST(d, s, t); err != nil {
+		return nil, err
+	}
+	n, m := d.N(), d.M()
+	nPrime := n - 1
+	bigM := d.MaxCap()
+	if c := d.MaxAbsCost(); c > bigM {
+		bigM = c
+	}
+	if bigM < 1 {
+		bigM = 1
+	}
+	scale := 4 * int64(m) * int64(m) * bigM * bigM
+	q := make([]int64, m)
+	var maxQ int64 = 1
+	for i := 0; i < m; i++ {
+		q[i] = d.Arc(i).Cost*scale + 1 + rnd.Int63n(2*int64(m)*bigM)
+		if a := abs64(q[i]); a > maxQ {
+			maxQ = a
+		}
+	}
+	// Capacity-weighted worst routing cost, then the domination chain.
+	var worstCost float64
+	for i := 0; i < m; i++ {
+		worstCost += float64(abs64(q[i])) * float64(d.Arc(i).Cap)
+	}
+	flowBonus := 4*worstCost + 1
+	lambda := 8 * flowBonus
+
+	fMax := 2 * float64(n) * float64(bigM) * float64(m)
+	yMax := 4 * (fMax + float64(m)*float64(bigM) + 1)
+
+	vidx := vertexIndex(n, s)
+	mPrime := m + 2*nPrime + 1
+	offY, offZ, offF := m, m+nPrime, m+2*nPrime
+
+	var ts []linalg.Triple
+	for i := 0; i < m; i++ {
+		a := d.Arc(i)
+		if j := vidx[a.To]; j >= 0 {
+			ts = append(ts, linalg.Triple{Row: i, Col: j, Val: 1})
+		}
+		if j := vidx[a.From]; j >= 0 {
+			ts = append(ts, linalg.Triple{Row: i, Col: j, Val: -1})
+		}
+	}
+	for j := 0; j < nPrime; j++ {
+		ts = append(ts,
+			linalg.Triple{Row: offY + j, Col: j, Val: 1},
+			linalg.Triple{Row: offZ + j, Col: j, Val: -1},
+		)
+	}
+	tIdx := vidx[t]
+	ts = append(ts, linalg.Triple{Row: offF, Col: tIdx, Val: -1})
+
+	a := linalg.NewCSR(mPrime, nPrime, ts)
+	c := make([]float64, mPrime)
+	l := make([]float64, mPrime)
+	u := make([]float64, mPrime)
+	for i := 0; i < m; i++ {
+		c[i] = float64(q[i])
+		u[i] = float64(d.Arc(i).Cap)
+	}
+	for j := 0; j < nPrime; j++ {
+		c[offY+j] = lambda
+		c[offZ+j] = lambda
+		u[offY+j] = yMax
+		u[offZ+j] = yMax
+	}
+	c[offF] = -flowBonus
+	u[offF] = fMax
+
+	prob := &lp.Problem{A: a, B: make([]float64, nPrime), C: c, L: l, U: u}
+
+	// Interior starting point: x = c/2, F = fMax/2, and y, z split the
+	// imbalance r = F·e_t − B(c/2) symmetrically around yMax/2.
+	x0 := make([]float64, mPrime)
+	for i := 0; i < m; i++ {
+		x0[i] = float64(d.Arc(i).Cap) / 2
+	}
+	f0 := fMax / 2
+	x0[offF] = f0
+	r := make([]float64, nPrime)
+	for i := 0; i < m; i++ {
+		arc := d.Arc(i)
+		if j := vidx[arc.To]; j >= 0 {
+			r[j] -= x0[i]
+		}
+		if j := vidx[arc.From]; j >= 0 {
+			r[j] += x0[i]
+		}
+	}
+	r[tIdx] += f0
+	for j := 0; j < nPrime; j++ {
+		x0[offY+j] = yMax/2 + r[j]/2
+		x0[offZ+j] = yMax/2 - r[j]/2
+		if x0[offY+j] <= 0 || x0[offY+j] >= yMax || x0[offZ+j] <= 0 || x0[offZ+j] >= yMax {
+			return nil, fmt.Errorf("flow: interior point construction failed at row %d", j)
+		}
+	}
+	form := &LPForm{
+		D: d, S: s, T: t, Prob: prob, X0: x0,
+		QTilde: q, CostScale: scale,
+		NPrime: nPrime, OffY: offY, OffZ: offZ, OffF: offF,
+		Lambda: lambda, FlowBonus: flowBonus,
+	}
+	return form, nil
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// SolverMode selects how the LP's (AᵀDA)-solves are performed.
+type SolverMode int
+
+const (
+	// SolverDense assembles AᵀDA and factorizes it (reference).
+	SolverDense SolverMode = iota + 1
+	// SolverGremban routes every solve through the Gremban reduction to a
+	// Laplacian system solved by conjugate gradients — the structure
+	// Lemma 5.1 exploits.
+	SolverGremban
+)
+
+// ATDASolver returns the lp.ATDASolve for the requested mode.
+func (f *LPForm) ATDASolver(mode SolverMode) lp.ATDASolve {
+	switch mode {
+	case SolverGremban:
+		return func(dvec, y []float64) ([]float64, error) {
+			m := f.assembleATDA(dvec)
+			return lapsolver.SDDSolve(m, y, lapsolver.CGLapSolve)
+		}
+	default:
+		return nil // lp.Problem falls back to the dense solver
+	}
+}
+
+// assembleATDA builds AᵀDA = BᵀD₁B + D₂ + D₃ + d_F·e_t e_tᵀ densely (the
+// matrix is (|V|−1)×(|V|−1), tiny compared to the LP).
+func (f *LPForm) assembleATDA(dvec []float64) *linalg.Dense {
+	n := f.NPrime
+	out := linalg.NewDense(n, n)
+	vidx := vertexIndex(f.D.N(), f.S)
+	for i := 0; i < f.D.M(); i++ {
+		a := f.D.Arc(i)
+		ji, jj := vidx[a.From], vidx[a.To]
+		w := dvec[i]
+		if ji >= 0 {
+			out.Inc(ji, ji, w)
+		}
+		if jj >= 0 {
+			out.Inc(jj, jj, w)
+		}
+		if ji >= 0 && jj >= 0 {
+			out.Inc(ji, jj, -w)
+			out.Inc(jj, ji, -w)
+		}
+	}
+	for j := 0; j < n; j++ {
+		out.Inc(j, j, dvec[f.OffY+j]+dvec[f.OffZ+j])
+	}
+	tIdx := vidx[f.T]
+	out.Inc(tIdx, tIdx, dvec[f.OffF])
+	return out
+}
+
+// RoundFlow converts an approximate LP point into integral per-arc flows:
+// x̃ = (1−ε)x rounded to the nearest integers, as in Section 5 (with the
+// unique perturbed optimum, every x_e is within 1/6 of its integral
+// value).
+func (f *LPForm) RoundFlow(x []float64) []int64 {
+	m := f.D.M()
+	eps := 1.0 / (40 * float64(m) * float64(m))
+	out := make([]int64, m)
+	for i := 0; i < m; i++ {
+		v := (1 - eps) * x[i]
+		r := math.Round(v)
+		if r < 0 {
+			r = 0
+		}
+		if c := float64(f.D.Arc(i).Cap); r > c {
+			r = c
+		}
+		out[i] = int64(r)
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package flow
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bcclap/internal/graph"
+	"bcclap/internal/lp"
+	"bcclap/internal/sim"
+)
+
+// Options configures the LP-based min-cost max-flow pipeline.
+type Options struct {
+	// Eps is the LP target accuracy relative to the (scaled) objective;
+	// the default drives t₂ high enough for exact rounding on the
+	// perturbed LP.
+	Eps float64
+	// Retries is the number of perturbation attempts (each succeeds with
+	// probability ≥ 1/2 per Daitch–Spielman; footnote 7's boosting).
+	Retries int
+	// Solver picks the (AᵀDA) strategy (dense reference or Gremban +
+	// Laplacian CG as in Lemma 5.1).
+	Solver SolverMode
+	// LP forwards interior-point parameters.
+	LP lp.Params
+	// Rand drives the perturbations; nil seeds a default.
+	Rand *rand.Rand
+	// Net, if non-nil, receives round accounting.
+	Net *sim.Network
+}
+
+// Result is the output of MinCostMaxFlow.
+type Result struct {
+	// Value is the maximum flow value, Cost its minimum cost.
+	Value, Cost int64
+	// Flows is the exact integral per-arc flow.
+	Flows []int64
+	// Attempts is the number of perturbations tried.
+	Attempts int
+	// LPStats carries the interior-point statistics of the successful
+	// attempt.
+	LPStats lp.Solution
+	// Rounds is the simulator round count (0 without a network).
+	Rounds int
+}
+
+// MinCostMaxFlow computes an exact minimum-cost maximum s-t flow through
+// the paper's pipeline (Theorem 1.1): perturb costs for uniqueness, solve
+// the Section 5 LP with the Lee–Sidford interior-point method (Laplacian
+// solves via the Gremban reduction), round to integers, and certify; on a
+// failed certificate, retry with fresh perturbation randomness.
+func MinCostMaxFlow(d *graph.Digraph, s, t int, opts Options) (*Result, error) {
+	if opts.Eps == 0 {
+		opts.Eps = 0.25
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 5
+	}
+	if opts.Solver == 0 {
+		opts.Solver = SolverDense
+	}
+	rnd := opts.Rand
+	if rnd == nil {
+		rnd = rand.New(rand.NewSource(2022))
+	}
+	var lastErr error
+	for attempt := 1; attempt <= opts.Retries; attempt++ {
+		form, err := NewLPForm(d, s, t, rnd)
+		if err != nil {
+			return nil, err
+		}
+		form.Prob.Solve = form.ATDASolver(opts.Solver)
+		par := opts.LP
+		par.Net = opts.Net
+		if par.Seed == 0 {
+			par.Seed = int64(attempt)
+		}
+		sol, err := lp.Solve(form.Prob, form.X0, opts.Eps, par)
+		if err != nil {
+			lastErr = fmt.Errorf("flow: LP attempt %d: %w", attempt, err)
+			continue
+		}
+		flows := form.RoundFlow(sol.X)
+		if err := CertifyOptimal(d, s, t, flows); err != nil {
+			lastErr = fmt.Errorf("flow: attempt %d certificate: %w", attempt, err)
+			continue
+		}
+		res := &Result{
+			Value:    FlowValue(d, s, flows),
+			Cost:     FlowCost(d, flows),
+			Flows:    flows,
+			Attempts: attempt,
+			LPStats:  *sol,
+		}
+		if opts.Net != nil {
+			res.Rounds = opts.Net.Rounds()
+		}
+		return res, nil
+	}
+	return nil, fmt.Errorf("flow: all %d attempts failed: %w", opts.Retries, lastErr)
+}

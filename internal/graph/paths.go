@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// BFS returns hop distances from src; unreachable vertices get -1.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, ei := range g.adj[v] {
+			u := g.Other(ei, v)
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the graph is connected (vacuously true for
+// n ≤ 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	dist := g.BFS(0)
+	for _, d := range dist {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+type pqItem struct {
+	v    int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra returns weighted shortest-path distances from src; unreachable
+// vertices get +Inf. Weights must be positive (enforced by AddEdge).
+func (g *Graph) Dijkstra(src int) []float64 {
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	q := &pq{{v: src}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.dist > dist[it.v] {
+			continue
+		}
+		for _, ei := range g.adj[it.v] {
+			e := g.edges[ei]
+			u := g.Other(ei, it.v)
+			if nd := it.dist + e.W; nd < dist[u] {
+				dist[u] = nd
+				heap.Push(q, pqItem{v: u, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// AllPairsDijkstra returns the full distance matrix (n runs of Dijkstra);
+// used by the spanner stretch checks on small graphs.
+func (g *Graph) AllPairsDijkstra() [][]float64 {
+	out := make([][]float64, g.n)
+	for v := 0; v < g.n; v++ {
+		out[v] = g.Dijkstra(v)
+	}
+	return out
+}
+
+// Stretch returns the maximum over connected pairs (u,v) of
+// d_H(u,v) / d_G(u,v), where h must be a subgraph of g on the same vertex
+// set. Returns +Inf if h disconnects a pair connected in g. Used to verify
+// Lemma 3.1 (stretch ≤ 2k−1) on test instances.
+func Stretch(g, h *Graph) float64 {
+	dg := g.AllPairsDijkstra()
+	dh := h.AllPairsDijkstra()
+	worst := 1.0
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if math.IsInf(dg[u][v], 1) || dg[u][v] == 0 {
+				continue
+			}
+			r := dh[u][v] / dg[u][v]
+			if r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,47 @@
+package graph
+
+// UnionFind is a disjoint-set forest with path compression and union by
+// rank.
+type UnionFind struct {
+	parent []int
+	rank   []int
+	count  int
+}
+
+// NewUnionFind returns n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]int, n), rank: make([]int, n), count: n}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of x and y, returning true if they were distinct.
+func (u *UnionFind) Union(x, y int) bool {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return false
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.count--
+	return true
+}
+
+// Components returns the current number of disjoint sets.
+func (u *UnionFind) Components() int { return u.count }

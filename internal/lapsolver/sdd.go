@@ -1,0 +1,128 @@
+package lapsolver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"bcclap/internal/linalg"
+)
+
+// ErrNotSDD is returned when the Gremban reduction is given a matrix that
+// is not symmetric diagonally dominant with non-positive off-diagonals.
+var ErrNotSDD = errors.New("lapsolver: matrix is not SDD with non-positive off-diagonals")
+
+// GrembanLaplacian builds the Laplacian reduction of Lemma 5.1 / Gremban:
+// given a symmetric diagonally dominant n×n matrix M with non-positive
+// off-diagonal entries (the AᵀDA of the flow LP has this form, since
+// M_p = 0), it returns the edge list of a connected Laplacian on 2n
+// vertices such that solving L[x₁;x₂] = [y;−y] yields M x = y with
+// x = (x₁−x₂)/2.
+//
+// The virtual graph: the two copies u and u+n carry the edges of M's
+// off-diagonal support with weight |M(u,v)|, and each vertex is tied to its
+// mirror by an edge of weight C₂(u,u)/2, where C₂ = diag(M) − C₁ is the
+// diagonal excess and C₁(u,u) = Σ_{v≠u} |M(u,v)|.
+func GrembanLaplacian(m *linalg.Dense) ([]linalg.WEdge, error) {
+	n := m.Rows()
+	if m.Cols() != n {
+		return nil, linalg.ErrDimension
+	}
+	var edges []linalg.WEdge
+	for u := 0; u < n; u++ {
+		var offAbs float64
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			muv := m.At(u, v)
+			if muv > 1e-12 {
+				return nil, fmt.Errorf("%w: positive off-diagonal M[%d][%d] = %g", ErrNotSDD, u, v, muv)
+			}
+			if math.Abs(muv-m.At(v, u)) > 1e-9*(1+math.Abs(muv)) {
+				return nil, fmt.Errorf("%w: not symmetric at (%d,%d)", ErrNotSDD, u, v)
+			}
+			offAbs += math.Abs(muv)
+			if v > u && muv < 0 {
+				w := -muv
+				edges = append(edges,
+					linalg.WEdge{U: u, V: v, W: w},
+					linalg.WEdge{U: u + n, V: v + n, W: w},
+				)
+			}
+		}
+		c2 := m.At(u, u) - offAbs
+		if c2 < -1e-9*(1+math.Abs(m.At(u, u))) {
+			return nil, fmt.Errorf("%w: row %d not diagonally dominant (excess %g)", ErrNotSDD, u, c2)
+		}
+		if c2 > 0 {
+			edges = append(edges, linalg.WEdge{U: u, V: u + n, W: c2 / 2})
+		}
+	}
+	return edges, nil
+}
+
+// SDDSolve solves M x = y via the Gremban reduction, delegating the
+// 2n-vertex Laplacian solve to lapSolve (for example CG, or the full
+// Theorem 1.3 BCC solver — the paper simulates the doubled network by
+// letting vertex i play both virtual vertices i and i+n, doubling the round
+// count).
+func SDDSolve(m *linalg.Dense, y []float64, lapSolve func(edges []linalg.WEdge, nn int, b []float64) ([]float64, error)) ([]float64, error) {
+	n := m.Rows()
+	if len(y) != n {
+		return nil, linalg.ErrDimension
+	}
+	edges, err := GrembanLaplacian(m)
+	if err != nil {
+		return nil, err
+	}
+	b := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		b[i] = y[i]
+		b[i+n] = -y[i]
+	}
+	sol, err := lapSolve(edges, 2*n, b)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = (sol[i] - sol[i+n]) / 2
+	}
+	return x, nil
+}
+
+// CGLapSolve is a ready-made lapSolve callback for SDDSolve: Jacobi-
+// preconditioned conjugate gradients on the reduction Laplacian. The
+// barrier-weighted matrices of the LP solver span many orders of magnitude,
+// so diagonal preconditioning and a relaxed acceptance threshold (the IPM
+// only needs poly(1/m) precision per the paper) keep the solves robust.
+func CGLapSolve(edges []linalg.WEdge, nn int, b []float64) ([]float64, error) {
+	l := linalg.LaplacianCSR(nn, edges)
+	diag := l.Diag()
+	for i, v := range diag {
+		if v <= 0 {
+			diag[i] = 1
+		}
+	}
+	pb := linalg.ProjectOutOnes(b)
+	op := linalg.OpFunc(func(x []float64) []float64 {
+		return linalg.ProjectOutOnes(l.MulVec(linalg.ProjectOutOnes(x)))
+	})
+	precond := func(r []float64) []float64 {
+		out := make([]float64, len(r))
+		for i := range r {
+			out[i] = r[i] / diag[i]
+		}
+		return linalg.ProjectOutOnes(out)
+	}
+	x, err := linalg.CG(op, pb, 1e-10, 40*nn+4000, precond)
+	if err != nil {
+		// Accept the best iterate when it is precise enough for the IPM.
+		res := linalg.Norm2(linalg.Sub(pb, op.MulVec(x)))
+		if res > 1e-6*(1+linalg.Norm2(pb)) {
+			return nil, err
+		}
+	}
+	return linalg.ProjectOutOnes(x), nil
+}

@@ -1,0 +1,83 @@
+package linalg
+
+import "errors"
+
+// ErrNoConvergence is returned when an iterative solver exhausts its
+// iteration budget without reaching the requested tolerance.
+var ErrNoConvergence = errors.New("linalg: iterative solver did not converge")
+
+// MulVecer is any operator that can apply itself to a vector. Both Dense and
+// CSR satisfy it, as do function adapters.
+type MulVecer interface {
+	MulVec(x []float64) []float64
+}
+
+// OpFunc adapts a function to the MulVecer interface.
+type OpFunc func(x []float64) []float64
+
+// MulVec applies the wrapped function.
+func (f OpFunc) MulVec(x []float64) []float64 { return f(x) }
+
+// CG solves the symmetric positive-definite system A x = b with conjugate
+// gradients to relative residual tol, starting from x = 0. precond, if
+// non-nil, applies an SPD preconditioner M⁻¹.
+func CG(a MulVecer, b []float64, tol float64, maxIter int, precond func([]float64) []float64) ([]float64, error) {
+	n := len(b)
+	x := make([]float64, n)
+	r := Clone(b)
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		return x, nil
+	}
+	apply := func(v []float64) []float64 {
+		if precond == nil {
+			return Clone(v)
+		}
+		return precond(v)
+	}
+	z := apply(r)
+	p := Clone(z)
+	rz := Dot(r, z)
+	for it := 0; it < maxIter; it++ {
+		if Norm2(r) <= tol*bnorm {
+			return x, nil
+		}
+		ap := a.MulVec(p)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			// Not SPD in this direction (or numerically exhausted); stop with
+			// the best iterate rather than diverging.
+			return x, nil
+		}
+		alpha := rz / pap
+		AXPY(alpha, p, x)
+		AXPY(-alpha, ap, r)
+		z = apply(r)
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	if Norm2(r) <= tol*bnorm {
+		return x, nil
+	}
+	return x, ErrNoConvergence
+}
+
+// CGLaplacian solves L x = b for a graph Laplacian L, handling the span{1}
+// nullspace: b is projected orthogonal to 1 and the returned solution is the
+// minimum-norm (mean-zero) one. The graph must be connected for the result
+// to solve the projected system.
+func CGLaplacian(l MulVecer, b []float64, tol float64, maxIter int) ([]float64, error) {
+	pb := ProjectOutOnes(b)
+	op := OpFunc(func(x []float64) []float64 {
+		return ProjectOutOnes(l.MulVec(ProjectOutOnes(x)))
+	})
+	x, err := CG(op, pb, tol, maxIter, nil)
+	if err != nil {
+		return x, err
+	}
+	return ProjectOutOnes(x), nil
+}

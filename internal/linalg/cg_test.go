@@ -1,0 +1,164 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCGOnSPD(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	n := 15
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rnd.NormFloat64())
+		}
+	}
+	spd := a.Transpose().Mul(a)
+	for i := 0; i < n; i++ {
+		spd.Inc(i, i, 1)
+	}
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = rnd.NormFloat64()
+	}
+	b := spd.MulVec(want)
+	got, err := CG(spd, b, 1e-12, 10*n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Norm2(Sub(got, want)); d > 1e-7 {
+		t.Fatalf("CG error %g", d)
+	}
+}
+
+func TestCGWithPreconditioner(t *testing.T) {
+	// Diagonal system with Jacobi preconditioner converges in one step.
+	n := 10
+	d := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		d.Set(i, i, float64(i+1))
+	}
+	b := Ones(n)
+	precond := func(r []float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = r[i] / float64(i+1)
+		}
+		return out
+	}
+	x, err := CG(d, b, 1e-14, 3, precond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !almostEq(x[i], 1/float64(i+1), 1e-10) {
+			t.Fatalf("x[%d] = %v", i, x[i])
+		}
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	x, err := CG(Eye(4), Zeros(4), 1e-12, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Norm2(x) != 0 {
+		t.Fatal("zero RHS should give zero solution")
+	}
+}
+
+func TestCGLaplacianPath(t *testing.T) {
+	// Path graph 0-1-2-3 with unit weights; solve L x = b with b ⊥ 1.
+	edges := []WEdge{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}}
+	l := LaplacianCSR(4, edges)
+	b := []float64{1, 0, 0, -1}
+	x, err := CGLaplacian(l, b, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lx := l.MulVec(x)
+	if d := Norm2(Sub(lx, b)); d > 1e-8 {
+		t.Fatalf("residual %g", d)
+	}
+	if s := Sum(x); !almostEq(s, 0, 1e-10) {
+		t.Fatalf("solution not mean-zero: %g", s)
+	}
+}
+
+func TestCGLaplacianProjectsRHS(t *testing.T) {
+	// A RHS not orthogonal to 1 is handled by projecting it.
+	edges := []WEdge{{0, 1, 1}, {1, 2, 2}}
+	l := LaplacianCSR(3, edges)
+	b := []float64{5, 1, 0}
+	x, err := CGLaplacian(l, b, 1e-12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := ProjectOutOnes(b)
+	if d := Norm2(Sub(l.MulVec(x), pb)); d > 1e-8 {
+		t.Fatalf("residual vs projected RHS: %g", d)
+	}
+}
+
+func TestPreconditionedChebyshevExactPreconditioner(t *testing.T) {
+	// With B = A (κ = 1) Chebyshev solves essentially immediately.
+	n := 6
+	d := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		d.Set(i, i, float64(i+1))
+	}
+	b := Ones(n)
+	solveB := func(r []float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = r[i] / float64(i+1)
+		}
+		return out
+	}
+	x, res := PreconditionedChebyshev(d.MulVec, solveB, b, 1.0001, 1e-10)
+	if res.ResidualNorm > 1e-8 {
+		t.Fatalf("residual %g after %d iterations", res.ResidualNorm, res.Iterations)
+	}
+	for i := range x {
+		if !almostEq(x[i], 1/float64(i+1), 1e-8) {
+			t.Fatalf("x[%d] = %v", i, x[i])
+		}
+	}
+}
+
+func TestPreconditionedChebyshevKappa3(t *testing.T) {
+	// A = diag(1..n), B = 3A is a κ = 3 preconditioner (A ≼ B? No: we need
+	// A ≼ B ≼ κA, so take B with spectrum within [1,3]× that of A).
+	n := 12
+	rnd := rand.New(rand.NewSource(5))
+	diagA := make([]float64, n)
+	diagB := make([]float64, n)
+	for i := range diagA {
+		diagA[i] = 1 + rnd.Float64()*9
+		diagB[i] = diagA[i] * (1 + 2*rnd.Float64()) // within [1,3]·A
+	}
+	mulA := func(x []float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = diagA[i] * x[i]
+		}
+		return out
+	}
+	solveB := func(r []float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = r[i] / diagB[i]
+		}
+		return out
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rnd.NormFloat64()
+	}
+	x, res := PreconditionedChebyshev(mulA, solveB, b, 3, 1e-9)
+	_ = x
+	if res.ResidualNorm > 1e-6*Norm2(b) {
+		t.Fatalf("residual %g too large after %d iters", res.ResidualNorm, res.Iterations)
+	}
+}

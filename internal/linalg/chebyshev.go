@@ -1,0 +1,60 @@
+package linalg
+
+import "math"
+
+// ChebyshevResult reports what a preconditioned Chebyshev run did.
+type ChebyshevResult struct {
+	// Iterations is the number of Chebyshev iterations performed (each one
+	// multiplication by A and one solve in B, per Theorem 2.3).
+	Iterations int
+	// ResidualNorm is ||b - A y||₂ at termination.
+	ResidualNorm float64
+}
+
+// PreconditionedChebyshev implements Theorem 2.3 of the paper: given
+// symmetric PSD A and B with A ≼ B ≼ κA, a vector b and ε ∈ (0, 1/2], it
+// returns y with ||x − y||_A ≤ ε ||x||_A for the solution x of A x = b,
+// using O(√κ · log(1/ε)) iterations. Each iteration multiplies A by one
+// vector (mulA) and solves one system in B (solveB).
+//
+// The iteration is classical Chebyshev semi-iteration on the preconditioned
+// operator B⁻¹A, whose spectrum lies in [1/κ, 1] (restricted to the range of
+// A; callers handle nullspaces, e.g. by projecting out the all-ones vector
+// for Laplacians).
+func PreconditionedChebyshev(mulA, solveB func([]float64) []float64, b []float64, kappa, eps float64) ([]float64, ChebyshevResult) {
+	n := len(b)
+	lmin, lmax := 1/kappa, 1.0
+	theta := (lmax + lmin) / 2
+	delta := (lmax - lmin) / 2
+
+	iters := int(math.Ceil(math.Sqrt(kappa)*math.Log(2/eps))) + 1
+	x := make([]float64, n)
+	r := Clone(b)
+	var p []float64
+	var alpha float64
+	for k := 0; k < iters; k++ {
+		z := solveB(r)
+		switch k {
+		case 0:
+			p = Clone(z)
+			alpha = 1 / theta
+		default:
+			var beta float64
+			if k == 1 {
+				beta = 0.5 * (delta * alpha) * (delta * alpha)
+			} else {
+				beta = (delta * alpha / 2) * (delta * alpha / 2)
+			}
+			alpha = 1 / (theta - beta/alpha)
+			for i := range p {
+				p[i] = z[i] + beta*p[i]
+			}
+		}
+		AXPY(alpha, p, x)
+		ax := mulA(x)
+		for i := range r {
+			r[i] = b[i] - ax[i]
+		}
+	}
+	return x, ChebyshevResult{Iterations: iters, ResidualNorm: Norm2(r)}
+}

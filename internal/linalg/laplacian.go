@@ -1,0 +1,130 @@
+package linalg
+
+import "math"
+
+// WEdge is an undirected weighted edge between vertices U and V, used to
+// assemble Laplacians without importing the graph package (linalg sits at
+// the bottom of the dependency tree).
+type WEdge struct {
+	U, V int
+	W    float64
+}
+
+// LaplacianCSR assembles the graph Laplacian L = BᵀWB of the weighted
+// undirected graph given by edges on n vertices (Section 2.2 of the paper):
+//
+//	L[u][v] = -w(u,v) for u adjacent to v, L[u][u] = sum of incident weights.
+func LaplacianCSR(n int, edges []WEdge) *CSR {
+	triples := make([]Triple, 0, 4*len(edges))
+	for _, e := range edges {
+		triples = append(triples,
+			Triple{e.U, e.U, e.W},
+			Triple{e.V, e.V, e.W},
+			Triple{e.U, e.V, -e.W},
+			Triple{e.V, e.U, -e.W},
+		)
+	}
+	return NewCSR(n, n, triples)
+}
+
+// IncidenceCSR assembles the m×n edge-vertex incidence matrix B with
+// B[e][head] = 1, B[e][tail] = -1 (Section 2.2). For undirected edges the
+// orientation is U→V (tail U, head V); the Laplacian BᵀWB is
+// orientation-independent.
+func IncidenceCSR(n int, edges []WEdge) *CSR {
+	triples := make([]Triple, 0, 2*len(edges))
+	for i, e := range edges {
+		triples = append(triples,
+			Triple{i, e.V, 1},
+			Triple{i, e.U, -1},
+		)
+	}
+	return NewCSR(len(edges), n, triples)
+}
+
+// LaplacianQuadForm returns xᵀ L x = sum_e w_e (x_u - x_v)^2 computed
+// directly from the edge list, which is both faster and more accurate than
+// assembling L first.
+func LaplacianQuadForm(edges []WEdge, x []float64) float64 {
+	var s float64
+	for _, e := range edges {
+		d := x[e.U] - x[e.V]
+		s += e.W * d * d
+	}
+	return s
+}
+
+// PencilBounds estimates the range of the generalized Rayleigh quotient
+// xᵀ L_G x / xᵀ L_H x over x ⊥ 1, used to certify that H is a (1±ε)
+// spectral sparsifier of G (Definition 2.1). It combines random probes with
+// generalized power iteration: x ← L_H⁺ L_G x drives x toward the top
+// generalized eigenvector, and the inverse iteration toward the bottom one.
+// solveH must apply L_H⁺ (e.g. via CG with the ones-projection).
+//
+// The returned (lo, hi) satisfy lo ≤ λmin(L_H⁺L_G) and hi ≥ sampled
+// λmax estimates; for the test graphs used here the estimates converge to
+// the true extremes well within the iteration budget.
+func PencilBounds(edgesG, edgesH []WEdge, n int, solveH func([]float64) []float64, probes, iters int, rnd func() float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	ratio := func(x []float64) float64 {
+		num := LaplacianQuadForm(edgesG, x)
+		den := LaplacianQuadForm(edgesH, x)
+		if den <= 0 {
+			return math.NaN()
+		}
+		return num / den
+	}
+	lg := LaplacianCSR(n, edgesG)
+	for p := 0; p < probes; p++ {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rnd() - 0.5
+		}
+		x = ProjectOutOnes(x)
+		// Forward power iteration for the maximum.
+		y := Clone(x)
+		for it := 0; it < iters; it++ {
+			y = solveH(lg.MulVec(y))
+			y = ProjectOutOnes(y)
+			if nrm := Norm2(y); nrm > 0 {
+				Scale(1/nrm, y)
+			}
+		}
+		if r := ratio(y); !math.IsNaN(r) && r > hi {
+			hi = r
+		}
+		if r := ratio(x); !math.IsNaN(r) {
+			if r > hi {
+				hi = r
+			}
+			if r < lo {
+				lo = r
+			}
+		}
+	}
+	// Inverse iteration for the minimum: power iterate on L_G⁺ L_H using CG
+	// on L_G. Build a solver for L_G on the fly.
+	lgSolve := func(b []float64) []float64 {
+		x, _ := CGLaplacian(lg, b, 1e-10, 4*n+200)
+		return x
+	}
+	lh := LaplacianCSR(n, edgesH)
+	for p := 0; p < probes; p++ {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rnd() - 0.5
+		}
+		x = ProjectOutOnes(x)
+		for it := 0; it < iters; it++ {
+			x = lgSolve(lh.MulVec(x))
+			x = ProjectOutOnes(x)
+			if nrm := Norm2(x); nrm > 0 {
+				Scale(1/nrm, x)
+			}
+		}
+		if r := ratio(x); !math.IsNaN(r) && r < lo {
+			lo = r
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,248 @@
+// Package linalg provides the numerical linear-algebra substrate used by the
+// Laplacian-paradigm pipeline: dense and CSR sparse matrices, graph
+// Laplacians, conjugate-gradient and preconditioned Chebyshev solvers, and
+// spectral utilities (Rayleigh quotients, pencil bounds).
+//
+// Everything is float64 and stdlib-only. Vectors are plain []float64 so they
+// compose with the rest of the codebase without wrapper types.
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrDimension is returned when vector or matrix dimensions do not match.
+var ErrDimension = errors.New("linalg: dimension mismatch")
+
+// Dot returns the inner product of x and y. It panics if lengths differ,
+// since that is always a programming error in this codebase.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("linalg: Dot dimension mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// NormInf returns the maximum absolute entry of x (0 for an empty vector).
+func NormInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Norm1 returns the sum of absolute entries of x.
+func Norm1(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// WeightedNorm returns sqrt(sum_i w_i * x_i^2), the ||x||_w norm used by the
+// LP solver (Definition of ||.||_w in Section 4.1 of the paper).
+func WeightedNorm(x, w []float64) float64 {
+	if len(x) != len(w) {
+		panic("linalg: WeightedNorm dimension mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += w[i] * v * v
+	}
+	return math.Sqrt(s)
+}
+
+// AXPY computes y <- a*x + y in place.
+func AXPY(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: AXPY dimension mismatch")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Scale multiplies every entry of x by a, in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Add returns x + y as a new vector.
+func Add(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("linalg: Add dimension mismatch")
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] + y[i]
+	}
+	return out
+}
+
+// Sub returns x - y as a new vector.
+func Sub(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("linalg: Sub dimension mismatch")
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] - y[i]
+	}
+	return out
+}
+
+// Clone returns a copy of x.
+func Clone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// Zeros returns a zero vector of length n.
+func Zeros(n int) []float64 { return make([]float64, n) }
+
+// Ones returns the all-ones vector of length n.
+func Ones(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// Constant returns a vector of length n with every entry c.
+func Constant(n int, c float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}
+
+// Hadamard returns the entrywise product x .* y.
+func Hadamard(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("linalg: Hadamard dimension mismatch")
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] * y[i]
+	}
+	return out
+}
+
+// EntryDiv returns the entrywise quotient x ./ y.
+func EntryDiv(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("linalg: EntryDiv dimension mismatch")
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] / y[i]
+	}
+	return out
+}
+
+// Apply returns f applied entrywise to x, following the paper's convention
+// that scalar operations on vectors act coordinate-wise.
+func Apply(x []float64, f func(float64) float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = f(v)
+	}
+	return out
+}
+
+// Sum returns the sum of entries of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Max returns the maximum entry of x. It panics on an empty vector.
+func Max(x []float64) float64 {
+	if len(x) == 0 {
+		panic("linalg: Max of empty vector")
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum entry of x. It panics on an empty vector.
+func Min(x []float64) float64 {
+	if len(x) == 0 {
+		panic("linalg: Min of empty vector")
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ProjectOutOnes removes the component of x along the all-ones vector,
+// returning x - mean(x)*1. Laplacian systems are only solvable for b
+// orthogonal to the nullspace span{1}; solvers use this projection.
+func ProjectOutOnes(x []float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	mean := Sum(x) / float64(len(x))
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v - mean
+	}
+	return out
+}
+
+// Median3 returns the median of a, b and c. The paper's algorithms use
+// median(x, y, z) to clamp step sizes (Algorithms 7, 8 and 10).
+func Median3(a, b, c float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+// Clamp restricts v to the interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

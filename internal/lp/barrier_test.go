@@ -1,0 +1,94 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBarrierValidation(t *testing.T) {
+	if _, err := NewBarriers([]float64{math.Inf(-1)}, []float64{math.Inf(1)}); err == nil {
+		t.Error("doubly unbounded accepted")
+	}
+	if _, err := NewBarriers([]float64{1}, []float64{1}); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := NewBarriers([]float64{0, math.Inf(-1), 0}, []float64{1, 5, math.Inf(1)}); err != nil {
+		t.Errorf("valid domains rejected: %v", err)
+	}
+}
+
+// finite-difference check of φ′ and φ″ for all three barrier types.
+func TestBarrierDerivatives(t *testing.T) {
+	b, err := NewBarriers(
+		[]float64{0, math.Inf(-1), -1},
+		[]float64{math.Inf(1), 2, 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.7, 0.3, 1.1}
+	h := 1e-6
+	phi1 := b.D1(x)
+	phi2 := b.D2(x)
+	for i := range x {
+		xp := append([]float64(nil), x...)
+		xm := append([]float64(nil), x...)
+		xp[i] += h
+		xm[i] -= h
+		d1 := (b.Phi(xp)[i] - b.Phi(xm)[i]) / (2 * h)
+		if math.Abs(d1-phi1[i]) > 1e-4*(1+math.Abs(phi1[i])) {
+			t.Errorf("coord %d: φ′ = %v, finite diff %v", i, phi1[i], d1)
+		}
+		d2 := (b.D1(xp)[i] - b.D1(xm)[i]) / (2 * h)
+		if math.Abs(d2-phi2[i]) > 1e-4*(1+math.Abs(phi2[i])) {
+			t.Errorf("coord %d: φ″ = %v, finite diff %v", i, phi2[i], d2)
+		}
+		if phi2[i] <= 0 {
+			t.Errorf("coord %d: φ″ = %v not positive", i, phi2[i])
+		}
+	}
+}
+
+func TestBarrierBlowsUpAtBoundary(t *testing.T) {
+	b, err := NewBarriers([]float64{0}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := b.Phi([]float64{0.5})[0]
+	near := b.Phi([]float64{1e-9})[0]
+	if near < mid+10 {
+		t.Fatalf("barrier near boundary %v not ≫ center %v", near, mid)
+	}
+}
+
+func TestInterior(t *testing.T) {
+	b, err := NewBarriers([]float64{0, 0}, []float64{1, math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Interior([]float64{0.5, 100}) {
+		t.Error("interior point rejected")
+	}
+	if b.Interior([]float64{0, 1}) {
+		t.Error("boundary point accepted")
+	}
+	if b.Interior([]float64{0.5, math.NaN()}) {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestStepToBoundary(t *testing.T) {
+	b, err := NewBarriers([]float64{0}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From 0.5 stepping +1: room is 0.5·(1−margin).
+	s := b.StepToBoundary([]float64{0.5}, []float64{1}, 0.1)
+	if math.Abs(s-0.45) > 1e-12 {
+		t.Fatalf("s = %v, want 0.45", s)
+	}
+	// Step within the domain: full step.
+	if s := b.StepToBoundary([]float64{0.5}, []float64{0.1}, 0.1); s != 1 {
+		t.Fatalf("full step clipped: %v", s)
+	}
+}

@@ -1,0 +1,370 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+
+	"bcclap/internal/linalg"
+	"bcclap/internal/sim"
+)
+
+// Params tunes LPSolve. Zero values select practical defaults that keep
+// the paper's asymptotic shapes (see the package comment).
+type Params struct {
+	// Alpha is the multiplicative t-step (paper: R/(1600√n·log²m); default:
+	// 0.4/√n, preserving the Θ(√n·log(U/ε)) path-step count of
+	// Theorem 1.4).
+	Alpha float64
+	// CenterTol is the centrality measure δ below which a t-step is taken;
+	// centering repeats (up to MaxInnerSteps) until reached.
+	CenterTol float64
+	// MaxInnerSteps caps centering repetitions per t-step.
+	MaxInnerSteps int
+	// FinalCenterings is the number of extra centerings at t_end
+	// (paper: 4c_k·log(1/η)).
+	FinalCenterings int
+	// Lewis tunes the weight computations.
+	Lewis LewisParams
+	// LeverageEta is the JL distortion for leverage scores.
+	LeverageEta float64
+	// ExactLeverage disables sketching (small instances / tests).
+	ExactLeverage bool
+	// Seed feeds the shared Kane–Nelson seeds.
+	Seed int64
+	// Net, if non-nil, receives round accounting.
+	Net *sim.Network
+	// MaxPathSteps is a safety cap on total t-steps.
+	MaxPathSteps int
+	// InitWeightSteps caps the Algorithm 8 homotopy length.
+	InitWeightSteps int
+}
+
+func (p Params) withDefaults(n int) Params {
+	if p.Alpha == 0 {
+		p.Alpha = 0.4 / math.Sqrt(float64(maxInt(n, 1)))
+	}
+	if p.CenterTol == 0 {
+		p.CenterTol = 0.5
+	}
+	if p.MaxInnerSteps == 0 {
+		p.MaxInnerSteps = 6
+	}
+	if p.FinalCenterings == 0 {
+		p.FinalCenterings = 12
+	}
+	if p.Lewis == (LewisParams{}) {
+		p.Lewis = DefaultLewisParams()
+	}
+	if p.LeverageEta == 0 {
+		p.LeverageEta = 0.5
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.MaxPathSteps == 0 {
+		p.MaxPathSteps = 200000
+	}
+	if p.InitWeightSteps == 0 {
+		p.InitWeightSteps = 400
+	}
+	return p
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	// X is the final (strictly feasible) iterate.
+	X []float64
+	// Objective is cᵀX.
+	Objective float64
+	// PathSteps counts t-updates across both phases (the quantity
+	// Theorem 1.4 bounds by Õ(√n·log(U/ε))).
+	PathSteps int
+	// Centerings counts CenteringInexact invocations.
+	Centerings int
+	// Rounds is the simulator round count consumed (0 without a network).
+	Rounds int
+}
+
+// ipm carries one solver run.
+type ipm struct {
+	prob *Problem
+	bar  *Barriers
+	par  Params
+	lev  LeverageFn
+	sol  ATDASolve
+
+	m, n   int
+	p      float64 // Lewis exponent 1 − 1/log(4m)
+	c0     float64 // weight regularization n/(2m)
+	cK     float64
+	cNorm  float64
+	etaW   float64 // weight-update precision (practical e^R − 1)
+	counts Solution
+}
+
+// Solve runs LPSolve (Algorithm 9): center x0 against the artificial cost
+// d = −w·φ′(x0) down to a tiny t₁, then follow the weighted central path
+// for the true cost up to t₂ = 2m/ε. The returned point satisfies
+// Aᵀx = b, l < x < u and (for converged runs) cᵀx ≤ OPT + O(ε).
+func Solve(prob *Problem, x0 []float64, eps float64, par Params) (*Solution, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("lp: eps must be positive, got %g", eps)
+	}
+	m, n := prob.M(), prob.N()
+	bar, err := NewBarriers(prob.L, prob.U)
+	if err != nil {
+		return nil, err
+	}
+	if len(x0) != m {
+		return nil, fmt.Errorf("lp: x0 has %d entries, want %d", len(x0), m)
+	}
+	if !bar.Interior(x0) {
+		return nil, fmt.Errorf("lp: x0 is not strictly interior")
+	}
+	if r := prob.Residual(x0); r > 1e-6*(1+linalg.Norm2(prob.B)) {
+		return nil, fmt.Errorf("lp: x0 violates Aᵀx = b by %g", r)
+	}
+	par = par.withDefaults(n)
+
+	s := &ipm{
+		prob: prob, bar: bar, par: par,
+		m: m, n: n,
+		p:  1 - 1/math.Log(4*float64(m)),
+		c0: float64(n) / (2 * float64(m)),
+		cK: 2 * math.Log(4*float64(m)),
+	}
+	s.cNorm = 24 * math.Sqrt(4*s.cK)
+	s.etaW = 0.1
+	s.sol = prob.solver()
+	s.lev = NewLeverageFn(prob.A, s.sol, par.ExactLeverage, par.LeverageEta, par.Seed)
+
+	// Initial regularized Lewis weights (Algorithm 9 line 1).
+	base := make([]float64, m)
+	phi2 := bar.D2(x0)
+	for i := range base {
+		base[i] = 1 / math.Sqrt(phi2[i])
+	}
+	w, _, err := ComputeInitialWeights(s.lev, base, s.p, n, m, par.Lewis, par.InitWeightSteps)
+	if err != nil {
+		return nil, fmt.Errorf("lp: initial weights: %w", err)
+	}
+	for i := range w {
+		w[i] += s.c0
+	}
+
+	// Artificial centering cost: with d = −w·φ′(x0) the point x0 is exactly
+	// central at t = 1 (the gradient t·d + w·φ′ vanishes).
+	d := make([]float64, m)
+	phi1 := bar.D1(x0)
+	for i := range d {
+		d[i] = -w[i] * phi1[i]
+	}
+	bigU := prob.BoundU(x0)
+	t1 := 1 / (16 * math.Pow(float64(m), 1.5) * bigU * bigU)
+	t2 := 2 * float64(m) / eps
+
+	x := linalg.Clone(x0)
+	x, w, err = s.pathFollowing(x, w, 1, t1, d)
+	if err != nil {
+		return nil, fmt.Errorf("lp: phase 1: %w", err)
+	}
+	x, w, err = s.pathFollowing(x, w, t1, t2, prob.C)
+	if err != nil {
+		return nil, fmt.Errorf("lp: phase 2: %w", err)
+	}
+	_ = w
+	s.counts.X = x
+	s.counts.Objective = prob.Objective(x)
+	if par.Net != nil {
+		s.counts.Rounds = par.Net.Rounds()
+	}
+	out := s.counts
+	return &out, nil
+}
+
+// pathFollowing implements Algorithm 10: alternate centering and
+// multiplicative t-steps clamped by median to t_end, then polish with
+// FinalCenterings extra centerings at t_end.
+func (s *ipm) pathFollowing(x, w []float64, tStart, tEnd float64, c []float64) ([]float64, []float64, error) {
+	t := tStart
+	var err error
+	for t != tEnd {
+		if s.counts.PathSteps >= s.par.MaxPathSteps {
+			return x, w, fmt.Errorf("lp: exceeded %d path steps (t = %g, target %g)", s.par.MaxPathSteps, t, tEnd)
+		}
+		x, w, err = s.centerLoop(x, w, t, c)
+		if err != nil {
+			return x, w, err
+		}
+		t = linalg.Median3((1-s.par.Alpha)*t, tEnd, (1+s.par.Alpha)*t)
+		s.counts.PathSteps++
+	}
+	for i := 0; i < s.par.FinalCenterings; i++ {
+		x, w, err = s.center(x, w, tEnd, c)
+		if err != nil {
+			return x, w, err
+		}
+	}
+	return x, w, nil
+}
+
+// centerLoop repeats centering until the centrality measure δ is below
+// CenterTol (practical safeguard for the aggressive α; with the paper's
+// constants a single step maintains the invariant).
+func (s *ipm) centerLoop(x, w []float64, t float64, c []float64) ([]float64, []float64, error) {
+	var err error
+	for inner := 0; inner < s.par.MaxInnerSteps; inner++ {
+		var delta float64
+		x, w, delta, err = s.centerDelta(x, w, t, c)
+		if err != nil {
+			return x, w, err
+		}
+		if delta <= s.par.CenterTol {
+			break
+		}
+	}
+	return x, w, nil
+}
+
+func (s *ipm) center(x, w []float64, t float64, c []float64) ([]float64, []float64, error) {
+	x, w, _, err := s.centerDelta(x, w, t, c)
+	return x, w, err
+}
+
+// centerDelta implements CenteringInexact (Algorithm 11): one projected
+// Newton step on the weighted barrier plus one multiplicative weight update
+// toward the fresh approximate Lewis weights, steered through the
+// mixed-norm-ball projection.
+func (s *ipm) centerDelta(x, w []float64, t float64, c []float64) ([]float64, []float64, float64, error) {
+	s.counts.Centerings++
+	m := s.m
+	phi1 := s.bar.D1(x)
+	phi2 := s.bar.D2(x)
+
+	// q = (t·c + w·φ′(x)) / (w·√φ″(x)).
+	q := make([]float64, m)
+	for i := 0; i < m; i++ {
+		q[i] = (t*c[i] + w[i]*phi1[i]) / (w[i] * math.Sqrt(phi2[i]))
+	}
+	pq, err := s.applyProjection(q, w, phi2)
+	if err != nil {
+		return x, w, 0, err
+	}
+	delta := linalg.NormInf(pq) + s.cNorm*linalg.WeightedNorm(pq, w)
+
+	// Newton step dx = −Φ″^{-1/2}·P_{x,w} q, damped to stay interior.
+	dx := make([]float64, m)
+	for i := 0; i < m; i++ {
+		dx[i] = -pq[i] / math.Sqrt(phi2[i])
+	}
+	step := s.bar.StepToBoundary(x, dx, 0.05)
+	if step > 1 {
+		step = 1
+	}
+	xNew := make([]float64, m)
+	for i := range xNew {
+		xNew[i] = x[i] + 0.99*step*dx[i]
+	}
+	if !s.bar.Interior(xNew) {
+		return x, w, 0, fmt.Errorf("lp: Newton step left the domain")
+	}
+	if s.par.Net != nil {
+		// Two distributed matrix-vector products per centering (A and Aᵀ),
+		// one coordinate broadcast each.
+		bits := sim.BitsForFloat(1e9, 1e-12)
+		for phase := 0; phase < 2; phase++ {
+			s.par.Net.BeginPhase()
+			for v := 0; v < s.par.Net.N(); v++ {
+				s.par.Net.Broadcast(v, bits, nil)
+			}
+			s.par.Net.EndPhase()
+		}
+	}
+
+	// Weight update (Algorithm 11 lines 4–6). We compute the fresh
+	// regularized Lewis weights at xNew and move log(w) toward them through
+	// the mixed-ball projection of the smoothed-potential gradient.
+	phi2New := s.bar.D2(xNew)
+	base := make([]float64, m)
+	for i := range base {
+		base[i] = 1 / math.Sqrt(phi2New[i])
+	}
+	apx, err := ComputeApxWeights(s.lev, base, s.p, w, s.par.Lewis)
+	if err != nil {
+		return x, w, 0, err
+	}
+	z := make([]float64, m)
+	for i := range z {
+		// Regularize as in the definition of g(x) (Definition 4.3); this
+		// also keeps the logs bounded.
+		z[i] = math.Log(apx[i] + s.c0)
+	}
+	dvec := make([]float64, m)
+	for i := range dvec {
+		dvec[i] = z[i] - math.Log(math.Max(w[i], 1e-300))
+	}
+	grad := softmaxGradient(dvec)
+	l := make([]float64, m)
+	for i := range l {
+		l[i] = s.cNorm * math.Sqrt(math.Max(w[i], 1e-300))
+	}
+	proj := ProjectMixedBall(grad, l, s.par.Net)
+	scale := (1 - 6/(7*s.cK)) * math.Min(delta, 1)
+	wNew := make([]float64, m)
+	for i := range wNew {
+		u := linalg.Clamp(scale*proj[i], -0.5, 0.5)
+		wNew[i] = w[i] * math.Exp(u)
+		// Keep weights inside the regularized band [c0/2, 3n/2].
+		wNew[i] = linalg.Clamp(wNew[i], s.c0/2, 1.5*float64(s.n)+1)
+	}
+	return xNew, wNew, delta, nil
+}
+
+// applyProjection computes P_{x,w}q = q − W⁻¹A_x(A_xᵀW⁻¹A_x)⁻¹A_xᵀq with
+// A_x = Φ″(x)^{−1/2}A, using one (AᵀDA)-solve with D = 1/(w·φ″).
+func (s *ipm) applyProjection(q, w, phi2 []float64) ([]float64, error) {
+	m := s.m
+	// A_xᵀ q = Aᵀ(Φ″^{−1/2} q).
+	tmp := make([]float64, m)
+	for i := 0; i < m; i++ {
+		tmp[i] = q[i] / math.Sqrt(phi2[i])
+	}
+	rhs := s.prob.A.MulVecT(tmp)
+	dvec := make([]float64, m)
+	for i := 0; i < m; i++ {
+		dvec[i] = 1 / (w[i] * phi2[i])
+	}
+	sol, err := s.sol(dvec, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("lp: projection solve: %w", err)
+	}
+	asol := s.prob.A.MulVec(sol)
+	out := make([]float64, m)
+	for i := 0; i < m; i++ {
+		out[i] = q[i] - asol[i]/(w[i]*math.Sqrt(phi2[i]))
+	}
+	return out, nil
+}
+
+// softmaxGradient returns the normalized gradient of the smoothing
+// potential Φ_μ(v) = Σ_i (e^{μv_i} + e^{−μv_i}) used by Algorithm 11. The
+// projection is invariant under positive scaling of its input, so the
+// gradient is normalized (and μ chosen to avoid overflow).
+func softmaxGradient(v []float64) []float64 {
+	maxAbs := linalg.NormInf(v)
+	mu := 1.0
+	if maxAbs > 0 {
+		mu = math.Min(8, 30/maxAbs)
+	}
+	out := make([]float64, len(v))
+	for i, d := range v {
+		out[i] = math.Exp(mu*d) - math.Exp(-mu*d)
+	}
+	if n := linalg.Norm2(out); n > 0 {
+		linalg.Scale(1/n, out)
+	}
+	return out
+}

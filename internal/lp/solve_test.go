@@ -1,0 +1,145 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"bcclap/internal/linalg"
+)
+
+// simplexProblem: min cᵀx s.t. Σx_i = 1, 0 ≤ x ≤ 1. OPT = min_i c_i.
+func simplexProblem(c []float64) (*Problem, []float64) {
+	m := len(c)
+	ts := make([]linalg.Triple, m)
+	for i := range ts {
+		ts[i] = linalg.Triple{Row: i, Col: 0, Val: 1}
+	}
+	prob := &Problem{
+		A: linalg.NewCSR(m, 1, ts),
+		B: []float64{1},
+		C: append([]float64(nil), c...),
+		L: make([]float64, m),
+		U: linalg.Ones(m),
+	}
+	x0 := linalg.Constant(m, 1/float64(m))
+	return prob, x0
+}
+
+func TestSolveSimplexLP(t *testing.T) {
+	c := []float64{3, 1, 4, 1.5, 5}
+	prob, x0 := simplexProblem(c)
+	sol, err := Solve(prob, x0, 0.05, Params{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := linalg.Min(c)
+	if sol.Objective > opt+0.1 {
+		t.Fatalf("objective %v, OPT %v", sol.Objective, opt)
+	}
+	if r := prob.Residual(sol.X); r > 1e-6 {
+		t.Fatalf("constraint violation %g", r)
+	}
+	for i, v := range sol.X {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("x[%d] = %v outside open box", i, v)
+		}
+	}
+	if sol.PathSteps == 0 || sol.Centerings == 0 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestSolveTwoVariableLP(t *testing.T) {
+	// min x₁ s.t. x₁ + x₂ = 1, 0 ≤ x ≤ 1: OPT = 0 at (0, 1).
+	prob := &Problem{
+		A: linalg.NewCSR(2, 1, []linalg.Triple{{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 0, Val: 1}}),
+		B: []float64{1},
+		C: []float64{1, 0},
+		L: []float64{0, 0},
+		U: []float64{1, 1},
+	}
+	sol, err := Solve(prob, []float64{0.5, 0.5}, 0.02, Params{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective > 0.05 {
+		t.Fatalf("objective %v, want ≈ 0", sol.Objective)
+	}
+}
+
+func TestSolveWithOneSidedBounds(t *testing.T) {
+	// min x₁ + x₂ s.t. x₁ − x₂ = 0, x ≥ 0.1 (upper side unbounded):
+	// OPT = 0.2 at (0.1, 0.1)... x₂ enters with coefficient −1.
+	prob := &Problem{
+		A: linalg.NewCSR(2, 1, []linalg.Triple{{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 0, Val: -1}}),
+		B: []float64{0},
+		C: []float64{1, 1},
+		L: []float64{0.1, 0.1},
+		U: []float64{math.Inf(1), math.Inf(1)},
+	}
+	sol, err := Solve(prob, []float64{1, 1}, 0.02, Params{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-0.2) > 0.05 {
+		t.Fatalf("objective %v, want 0.2", sol.Objective)
+	}
+}
+
+func TestSolveRejectsBadInput(t *testing.T) {
+	prob, x0 := simplexProblem([]float64{1, 2, 3})
+	if _, err := Solve(prob, x0, 0, Params{}); err == nil {
+		t.Error("eps = 0 accepted")
+	}
+	if _, err := Solve(prob, []float64{1, 0, 0}, 0.1, Params{}); err == nil {
+		t.Error("boundary x0 accepted")
+	}
+	bad := linalg.Constant(3, 0.5) // violates Σx = 1
+	if _, err := Solve(prob, bad, 0.1, Params{}); err == nil {
+		t.Error("infeasible x0 accepted")
+	}
+	if _, err := Solve(prob, []float64{0.3, 0.3}, 0.1, Params{}); err == nil {
+		t.Error("wrong-length x0 accepted")
+	}
+}
+
+func TestPathStepsScaleWithSqrtN(t *testing.T) {
+	// Theorem 1.4's headline: path steps grow like √n (here n is the
+	// constraint count, 1 for the simplex — instead scale the α the solver
+	// derives from n by constructing block problems with growing n).
+	steps := func(n int) int {
+		// n independent simplex blocks of 3 variables: Aᵀx = 1 per block.
+		m := 3 * n
+		var ts []linalg.Triple
+		c := make([]float64, m)
+		l := make([]float64, m)
+		u := linalg.Ones(m)
+		b := linalg.Ones(n)
+		x0 := linalg.Constant(m, 1.0/3)
+		for blk := 0; blk < n; blk++ {
+			for j := 0; j < 3; j++ {
+				row := 3*blk + j
+				ts = append(ts, linalg.Triple{Row: row, Col: blk, Val: 1})
+				c[row] = float64(j + 1)
+			}
+		}
+		prob := &Problem{A: linalg.NewCSR(m, n, ts), B: b, C: c, L: l, U: u}
+		sol, err := Solve(prob, x0, 0.1, Params{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sanity: per-block optimum is 1.
+		if sol.Objective > float64(n)+0.5*float64(n) {
+			t.Fatalf("n=%d objective %v too far above OPT %d", n, sol.Objective, n)
+		}
+		return sol.PathSteps
+	}
+	s1, s9 := steps(1), steps(9)
+	if s9 <= s1 {
+		t.Fatalf("path steps did not grow with n: %d vs %d", s1, s9)
+	}
+	// √9 = 3× plus log factors; must stay well below linear 9×.
+	if float64(s9) > 7*float64(s1) {
+		t.Fatalf("path-step growth looks linear: %d -> %d", s1, s9)
+	}
+}

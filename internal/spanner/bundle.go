@@ -1,0 +1,52 @@
+package spanner
+
+import "bcclap/internal/graph"
+
+// BundleResult is the output of Bundle (Algorithm 3).
+type BundleResult struct {
+	// B is the t-bundle: the union of the spanner edge sets F⁺_1..F⁺_t.
+	B []int
+	// C is the union of the deleted edge sets F⁻_1..F⁻_t.
+	C []int
+	// OutDeg accumulates the per-vertex spanner orientation counts.
+	OutDeg []int
+	// Layers holds the per-iteration Spanner results, in order.
+	Layers []*Result
+}
+
+// Bundle implements BundleSpanner(V, E, w, p, k, t) (Algorithm 3): t
+// successive Spanner runs, each on the still-undecided edges of the
+// previous one. By Lemma 3.1 the union B is a t-bundle of (2k−1)-spanners
+// with |B| = O(t·k·n^{1+1/k}) edges in expectation, computed in
+// O(t·k·n^{1/k}(log n + log W)) rounds (Lemma 3.2 applied t times).
+//
+// alive masks which of g's edges participate (nil means all); it is not
+// modified. p gives per-edge existence probabilities (nil means all 1).
+func Bundle(g *graph.Graph, alive []bool, p []float64, k, t int, opts Options) *BundleResult {
+	m := g.M()
+	cur := make([]bool, m)
+	if alive == nil {
+		for e := range cur {
+			cur[e] = true
+		}
+	} else {
+		copy(cur, alive)
+	}
+	out := &BundleResult{OutDeg: make([]int, g.N())}
+	for i := 0; i < t; i++ {
+		res := Run(g, cur, p, k, opts)
+		out.Layers = append(out.Layers, res)
+		out.B = append(out.B, res.FPlus...)
+		out.C = append(out.C, res.FMinus...)
+		for v, d := range res.OutDeg {
+			out.OutDeg[v] += d
+		}
+		for _, e := range res.FPlus {
+			cur[e] = false
+		}
+		for _, e := range res.FMinus {
+			cur[e] = false
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package spanner
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bcclap/internal/graph"
+)
+
+// Property-based test over random (graph, p, k, seed) tuples: every run
+// must satisfy the structural invariants of Lemma 3.1 —
+//  1. F⁺ ∩ F⁻ = ∅,
+//  2. both endpoints agree on every edge's fate,
+//  3. the orientation covers F⁺ exactly,
+//  4. with p ≡ 1, nothing is ever deleted.
+func TestSpannerInvariantsQuick(t *testing.T) {
+	prop := func(seed int64, pTenths uint8, kRaw uint8) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 6 + rnd.Intn(10)
+		g := graph.RandomConnected(n, 0.4, 3, rnd)
+		k := 1 + int(kRaw)%3
+		pVal := float64(pTenths%11) / 10
+		var p []float64
+		if pVal < 1 {
+			p = make([]float64, g.M())
+			for i := range p {
+				p[i] = pVal
+			}
+		}
+		res := Run(g, nil, p, k, Options{
+			MarkRand: rand.New(rand.NewSource(seed + 1)),
+			EdgeRand: rand.New(rand.NewSource(seed + 2)),
+		})
+		inPlus := make(map[int]bool)
+		for _, e := range res.FPlus {
+			inPlus[e] = true
+		}
+		for _, e := range res.FMinus {
+			if inPlus[e] {
+				return false // (1)
+			}
+		}
+		if p == nil && len(res.FMinus) != 0 {
+			return false // (4)
+		}
+		orient := 0
+		for _, d := range res.OutDeg {
+			orient += d
+		}
+		if orient != len(res.FPlus) {
+			return false // (3)
+		}
+		inMinus := make(map[int]bool)
+		for _, e := range res.FMinus {
+			inMinus[e] = true
+		}
+		for e := 0; e < g.M(); e++ {
+			ed := g.Edge(e)
+			if res.FMinusV[ed.U][e] != inMinus[e] || res.FMinusV[ed.V][e] != inMinus[e] {
+				return false // (2)
+			}
+			if inPlus[e] && !(res.FPlusV[ed.U][e] && res.FPlusV[ed.V][e]) {
+				return false // (2)
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the spanner of a connected input is connected whenever p ≡ 1
+// (a (2k−1)-spanner preserves all distances up to a factor, hence
+// connectivity).
+func TestSpannerConnectivityQuick(t *testing.T) {
+	prop := func(seed int64, kRaw uint8) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 5 + rnd.Intn(12)
+		g := graph.RandomConnected(n, 0.5, 2, rnd)
+		k := 1 + int(kRaw)%4
+		res := Run(g, nil, nil, k, Options{
+			MarkRand: rand.New(rand.NewSource(seed * 3)),
+			EdgeRand: rand.New(rand.NewSource(seed*3 + 1)),
+		})
+		return g.Subgraph(res.FPlus).Connected()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Bundle layers never re-decide an edge and their union is
+// exactly B ∪ C.
+func TestBundleInvariantsQuick(t *testing.T) {
+	prop := func(seed int64, tRaw uint8) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 6 + rnd.Intn(8)
+		g := graph.RandomConnected(n, 0.5, 2, rnd)
+		tb := 1 + int(tRaw)%3
+		res := Bundle(g, nil, nil, 2, tb, Options{
+			MarkRand: rand.New(rand.NewSource(seed + 9)),
+			EdgeRand: rand.New(rand.NewSource(seed + 10)),
+		})
+		seen := make(map[int]bool)
+		total := 0
+		for _, layer := range res.Layers {
+			for _, e := range append(append([]int{}, layer.FPlus...), layer.FMinus...) {
+				if seen[e] {
+					return false
+				}
+				seen[e] = true
+				total++
+			}
+		}
+		return total == len(res.B)+len(res.C)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
