@@ -1,0 +1,3 @@
+module bcclap
+
+go 1.24
