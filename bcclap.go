@@ -14,6 +14,24 @@
 // Every entry point optionally runs against the round-accounting simulator
 // in internal/sim so that the paper's round-complexity claims can be
 // measured; see EXPERIMENTS.md for the measured-vs-claimed record.
+//
+// # Linear-solve backends
+//
+// The interior-point pipeline reduces to repeated solves (AᵀDA)x = y. The
+// strategy is pluggable through a backend registry shared by SolveLP
+// (LPProblem.Backend) and MinCostMaxFlow (FlowOptions.Backend):
+//
+//	dense   — assemble AᵀDA and factorize it; exact reference, O(n³)/solve
+//	gremban — Gremban reduction to a Laplacian + preconditioned CG (Lemma 5.1)
+//	csr-cg  — matrix-free CG applying A, D, Aᵀ as composed operators;
+//	          never materializes AᵀDA and scales to large instances
+//
+//	res, err := bcclap.MinCostMaxFlow(d, s, t, bcclap.FlowOptions{Backend: "csr-cg"})
+//
+// FlowBackends lists the registered names; EXPERIMENTS.md records the
+// backend comparison measurements. All matrix-vector products ride on a
+// row-sharded parallel sparse kernel whose output is bit-for-bit identical
+// to the serial product.
 package bcclap
 
 import (
@@ -177,15 +195,28 @@ func SolveLP(prob *LPProblem, x0 []float64, eps float64, par LPParams) (*LPSolut
 
 // FlowOptions configures MinCostMaxFlow.
 type FlowOptions struct {
+	// Backend selects the AᵀDA linear-solve strategy by registry name:
+	// "dense" (assemble + factorize, the reference), "gremban" (Lemma 5.1's
+	// reduction to Laplacian systems) or "csr-cg" (matrix-free CG over
+	// composed operators, the scalable default for large graphs). Empty
+	// selects "dense", or "gremban" when UseGremban is set. FlowBackends
+	// lists the registered names.
+	Backend string
 	// UseGremban routes the LP's linear-system solves through the Gremban
-	// reduction to Laplacian systems (Lemma 5.1) instead of the dense
-	// reference solver.
+	// reduction to Laplacian systems (Lemma 5.1).
+	//
+	// Deprecated: set Backend to "gremban" instead. Ignored when Backend is
+	// non-empty.
 	UseGremban bool
 	// Seed drives the Daitch–Spielman perturbations.
 	Seed int64
 	// Net, if non-nil, receives round accounting.
 	Net *Network
 }
+
+// FlowBackends returns the names of all registered AᵀDA solve backends
+// accepted by FlowOptions.Backend.
+func FlowBackends() []string { return lp.Backends() }
 
 // FlowResult is an exact minimum-cost maximum flow.
 type FlowResult struct {
@@ -204,14 +235,14 @@ type FlowResult struct {
 // paper's LP pipeline (Theorem 1.1). The result is certified internally
 // (feasibility, maximality, cost optimality) before being returned.
 func MinCostMaxFlow(d *Digraph, s, t int, opts FlowOptions) (*FlowResult, error) {
-	mode := flow.SolverDense
-	if opts.UseGremban {
-		mode = flow.SolverGremban
+	backend := opts.Backend
+	if backend == "" && opts.UseGremban {
+		backend = "gremban"
 	}
 	res, err := flow.MinCostMaxFlow(d, s, t, flow.Options{
-		Solver: mode,
-		Rand:   rand.New(rand.NewSource(opts.Seed + 11)),
-		Net:    opts.Net,
+		Backend: backend,
+		Rand:    rand.New(rand.NewSource(opts.Seed + 11)),
+		Net:     opts.Net,
 	})
 	if err != nil {
 		return nil, err

@@ -7,9 +7,13 @@ package bcclap
 // and prints the comparison tables recorded in EXPERIMENTS.md.
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"bcclap/internal/flow"
 	"bcclap/internal/graph"
@@ -331,6 +335,163 @@ func BenchmarkE14ShortestPathViaFlow(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(want), "shortest_path_cost")
+}
+
+// benchATDAInstance builds the flow LP of a random network with n ≥ 256
+// vertices plus a representative barrier diagonal and right-hand side — the
+// workload both the backend benchmarks and the committed snapshot measure.
+func benchATDAInstance(tb testing.TB, n int) (a *linalg.CSR, dvec, y []float64) {
+	tb.Helper()
+	rnd := rand.New(rand.NewSource(16))
+	d := graph.RandomFlowNetwork(n, 0.05, 3, 3, rnd)
+	form, err := flow.NewLPForm(d, 0, d.N()-1, rnd)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	a = form.Prob.A
+	dvec = make([]float64, a.Rows())
+	for i := range dvec {
+		dvec[i] = 0.05 + rnd.Float64()
+	}
+	y = make([]float64, a.Cols())
+	for i := range y {
+		y[i] = rnd.NormFloat64()
+	}
+	return a, dvec, y
+}
+
+// benchSpMVInstance builds the large random CSR and input vector shared by
+// the SpMV benchmark and the snapshot.
+func benchSpMVInstance() (*linalg.CSR, []float64) {
+	rnd := rand.New(rand.NewSource(17))
+	n := 3000
+	var ts []linalg.Triple
+	for r := 0; r < n; r++ {
+		for k := 0; k < 60; k++ {
+			ts = append(ts, linalg.Triple{Row: r, Col: rnd.Intn(n), Val: rnd.NormFloat64()})
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rnd.NormFloat64()
+	}
+	return linalg.NewCSR(n, n, ts), x
+}
+
+// E15 — LinOp refactor: per-solve latency of the registered AᵀDA backends
+// on a flow LP with n ≥ 256 (acceptance: csr-cg beats dense here).
+func BenchmarkE15BackendSolve(b *testing.B) {
+	a, dvec, y := benchATDAInstance(b, 384)
+	for _, name := range lp.Backends() {
+		b.Run(name, func(b *testing.B) {
+			solve, err := lp.NewBackendSolver(name, a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solve(dvec, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E16 — row-sharded parallel SpMV vs the serial kernel on the same matrix
+// (the product every solver iteration pays for).
+func BenchmarkE16SpMV(b *testing.B) {
+	m, x := benchSpMVInstance()
+	dst := make([]float64, m.Rows())
+	b.ReportMetric(float64(m.NNZ()), "nnz")
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.MulVecToShards(dst, x, 1)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		shards := runtime.NumCPU()
+		for i := 0; i < b.N; i++ {
+			m.MulVecToShards(dst, x, shards)
+		}
+	})
+}
+
+// TestBenchBackendsSnapshot regenerates BENCH_backends.json, the committed
+// snapshot of the backend and SpMV comparison (set BENCH_SNAPSHOT=1 to
+// refresh; skipped otherwise so regular test runs stay fast).
+func TestBenchBackendsSnapshot(t *testing.T) {
+	if os.Getenv("BENCH_SNAPSHOT") == "" {
+		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_backends.json")
+	}
+	n := 384
+	a, dvec, y := benchATDAInstance(t, n)
+	median := func(f func()) time.Duration {
+		const reps = 5
+		times := make([]time.Duration, reps)
+		for i := range times {
+			start := time.Now()
+			f()
+			times[i] = time.Since(start)
+		}
+		for i := range times {
+			for j := i + 1; j < reps; j++ {
+				if times[j] < times[i] {
+					times[i], times[j] = times[j], times[i]
+				}
+			}
+		}
+		return times[reps/2]
+	}
+	solveNS := map[string]int64{}
+	for _, name := range lp.Backends() {
+		solve, err := lp.NewBackendSolver(name, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solve(dvec, y) // warm up factory state
+		solveNS[name] = median(func() {
+			if _, err := solve(dvec, y); err != nil {
+				t.Fatal(err)
+			}
+		}).Nanoseconds()
+	}
+	if solveNS["csr-cg"] >= solveNS["dense"] {
+		t.Errorf("csr-cg (%d ns) does not beat dense (%d ns) at n = %d", solveNS["csr-cg"], solveNS["dense"], n)
+	}
+	// SpMV serial vs parallel on the same matrix BenchmarkE16SpMV uses.
+	m, x := benchSpMVInstance()
+	nn := m.Rows()
+	dst := make([]float64, nn)
+	const spmvReps = 50
+	serialNS := median(func() {
+		for i := 0; i < spmvReps; i++ {
+			m.MulVecToShards(dst, x, 1)
+		}
+	}).Nanoseconds() / spmvReps
+	parallelNS := median(func() {
+		for i := 0; i < spmvReps; i++ {
+			m.MulVecToShards(dst, x, runtime.NumCPU())
+		}
+	}).Nanoseconds() / spmvReps
+	snap := map[string]any{
+		"generated_by": "BENCH_SNAPSHOT=1 go test -run TestBenchBackendsSnapshot .",
+		"atda": map[string]any{
+			"graph_n": n, "lp_rows": a.Rows(), "lp_cols": a.Cols(), "nnz": a.NNZ(),
+			"solve_ns": solveNS,
+		},
+		"spmv": map[string]any{
+			"n": nn, "nnz": m.NNZ(), "shards": runtime.NumCPU(),
+			"serial_ns": serialNS, "parallel_ns": parallelNS,
+		},
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_backends.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // E12 — Theorem 1.2's orientation: globalizing the sparsifier costs

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"bcclap/internal/flow"
 	"bcclap/internal/graph"
@@ -30,10 +31,16 @@ import (
 	"bcclap/internal/sparsify"
 )
 
+// flowBackend is the AᵀDA backend used by the flow-pipeline experiments
+// (set by -backend; e15 sweeps all registered backends regardless).
+var flowBackend string
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e12 or all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e12, e15 or all)")
 	quick := flag.Bool("quick", false, "smaller sweeps")
+	backend := flag.String("backend", "", "AᵀDA solve backend for the flow experiments: "+strings.Join(lp.Backends(), ", ")+" (default dense)")
 	flag.Parse()
+	flowBackend = *backend
 	if err := run(*exp, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "bcclap-experiments:", err)
 		os.Exit(1)
@@ -44,9 +51,10 @@ func run(exp string, quick bool) error {
 	all := map[string]func(bool) error{
 		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6,
 		"e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11, "e12": e12,
+		"e15": e15,
 	}
 	if exp == "all" {
-		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"} {
+		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e15"} {
 			if err := all[id](quick); err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}
@@ -354,7 +362,10 @@ func e9(quick bool) error {
 		if err != nil {
 			return err
 		}
-		res, err := flow.MinCostMaxFlow(d, 0, d.N()-1, flow.Options{Rand: rand.New(rand.NewSource(int64(trial + 100)))})
+		res, err := flow.MinCostMaxFlow(d, 0, d.N()-1, flow.Options{
+			Backend: flowBackend,
+			Rand:    rand.New(rand.NewSource(int64(trial + 100))),
+		})
 		if err != nil {
 			return err
 		}
@@ -418,6 +429,43 @@ func e11(quick bool) error {
 		res := sparsify.Adhoc(g, par, rand.New(rand.NewSource(int64(t))), nil)
 		lo, hi := sparsify.Quality(g, res.H, 5, rand.New(rand.NewSource(7)))
 		fmt.Printf("| %d | %d | %.3f | %.3f |\n", t, res.H.M(), lo, hi)
+	}
+	return nil
+}
+
+// e15: AᵀDA backend comparison — identical certified flows, wall-clock per
+// backend (the table EXPERIMENTS.md records for the LinOp refactor).
+func e15(quick bool) error {
+	header("e15", "Backend registry: identical certified (value, cost), per-backend wall-clock")
+	ns := []int{6, 10, 14}
+	if quick {
+		ns = []int{6, 10}
+	}
+	fmt.Println("| n | m | backend | value | cost | = baseline | time |")
+	fmt.Println("|---|---|---|---|---|---|---|")
+	for _, n := range ns {
+		rnd := rand.New(rand.NewSource(int64(n)))
+		d := graph.RandomFlowNetwork(n, 0.3, 3, 3, rnd)
+		wantV, wantC, _, err := flow.MinCostMaxFlowSSP(d, 0, d.N()-1)
+		if err != nil {
+			return err
+		}
+		for _, backend := range lp.Backends() {
+			start := time.Now()
+			res, err := flow.MinCostMaxFlow(d, 0, d.N()-1, flow.Options{
+				Backend: backend,
+				Rand:    rand.New(rand.NewSource(int64(n * 100))),
+			})
+			if err != nil {
+				return fmt.Errorf("backend %s: %w", backend, err)
+			}
+			match := "yes"
+			if res.Value != wantV || res.Cost != wantC {
+				match = "NO"
+			}
+			fmt.Printf("| %d | %d | %s | %d | %d | %s | %v |\n",
+				d.N(), d.M(), backend, res.Value, res.Cost, match, time.Since(start).Round(time.Millisecond))
+		}
 	}
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"bcclap"
 	"bcclap/internal/graph"
@@ -24,15 +25,19 @@ import (
 func main() {
 	randomN := flag.Int("random", 0, "generate a random instance on N vertices instead of reading stdin")
 	seed := flag.Int64("seed", 1, "random seed")
-	gremban := flag.Bool("gremban", false, "route linear solves through the Gremban/Laplacian reduction")
+	backend := flag.String("backend", "", "AᵀDA solve backend: "+strings.Join(bcclap.FlowBackends(), ", ")+" (default dense)")
+	gremban := flag.Bool("gremban", false, "deprecated: same as -backend gremban")
 	flag.Parse()
-	if err := run(*randomN, *seed, *gremban); err != nil {
+	if *backend == "" && *gremban {
+		*backend = "gremban"
+	}
+	if err := run(*randomN, *seed, *backend); err != nil {
 		fmt.Fprintln(os.Stderr, "bcclap-flow:", err)
 		os.Exit(1)
 	}
 }
 
-func run(randomN int, seed int64, gremban bool) error {
+func run(randomN int, seed int64, backend string) error {
 	var d *graph.Digraph
 	var s, t int
 	if randomN > 0 {
@@ -47,7 +52,7 @@ func run(randomN int, seed int64, gremban bool) error {
 			return err
 		}
 	}
-	res, err := bcclap.MinCostMaxFlow(d, s, t, bcclap.FlowOptions{Seed: seed, UseGremban: gremban})
+	res, err := bcclap.MinCostMaxFlow(d, s, t, bcclap.FlowOptions{Seed: seed, Backend: backend})
 	if err != nil {
 		return err
 	}

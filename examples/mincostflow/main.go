@@ -20,7 +20,11 @@ func main() {
 	s, t := 0, d.N()-1
 	fmt.Printf("transport network: %d nodes, %d arcs\n", d.N(), d.M())
 
-	res, err := bcclap.MinCostMaxFlow(d, s, t, bcclap.FlowOptions{Seed: 3, UseGremban: true})
+	// Backend selects the AᵀDA linear-solve strategy: "gremban" is the
+	// paper's Lemma 5.1 Laplacian route; "csr-cg" (matrix-free CG) is the
+	// scalable choice for large networks; "dense" the exact reference.
+	// bcclap.FlowBackends() lists every registered name.
+	res, err := bcclap.MinCostMaxFlow(d, s, t, bcclap.FlowOptions{Seed: 3, Backend: "gremban"})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,75 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+
+	"bcclap/internal/graph"
+	"bcclap/internal/lp"
+)
+
+// Every registered AᵀDA backend must produce the identical certified
+// (value, cost) on random digraphs — the certificate is combinatorial and
+// exact, so agreement means each backend solved the LP to rounding
+// precision.
+func TestBackendsProduceIdenticalCertifiedFlows(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	backends := lp.Backends()
+	if len(backends) < 3 {
+		t.Fatalf("expected at least 3 registered backends, have %v", backends)
+	}
+	for trial := 0; trial < 2; trial++ {
+		d := graph.RandomFlowNetwork(6+trial, 0.3, 3, 3, rnd)
+		wantV, wantC, _, err := MinCostMaxFlowSSP(d, 0, d.N()-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, backend := range backends {
+			res, err := MinCostMaxFlow(d, 0, d.N()-1, Options{
+				Backend: backend,
+				Rand:    rand.New(rand.NewSource(int64(100*trial + 7))),
+			})
+			if err != nil {
+				t.Fatalf("trial %d backend %s: %v", trial, backend, err)
+			}
+			if res.Value != wantV || res.Cost != wantC {
+				t.Fatalf("trial %d backend %s: (value, cost) = (%d, %d), SSP baseline (%d, %d)",
+					trial, backend, res.Value, res.Cost, wantV, wantC)
+			}
+			if err := CertifyOptimal(d, 0, d.N()-1, res.Flows); err != nil {
+				t.Fatalf("trial %d backend %s: certificate: %v", trial, backend, err)
+			}
+		}
+	}
+}
+
+func TestSolverModeBackendNames(t *testing.T) {
+	cases := map[SolverMode]string{
+		SolverDense:   "dense",
+		SolverGremban: "gremban",
+		SolverCSRCG:   "csr-cg",
+		SolverMode(0): "dense",
+	}
+	for mode, want := range cases {
+		if got := mode.BackendName(); got != want {
+			t.Fatalf("mode %d: backend %q, want %q", mode, got, want)
+		}
+	}
+}
+
+func TestConfigureRejectsUnknownBackend(t *testing.T) {
+	d := diamond(t)
+	form, err := NewLPForm(d, 0, 3, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := form.Configure("no-such-backend"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if err := form.Configure(""); err != nil {
+		t.Fatalf("empty backend (default) rejected: %v", err)
+	}
+	if _, err := MinCostMaxFlow(d, 0, 3, Options{Backend: "no-such-backend"}); err == nil {
+		t.Fatal("MinCostMaxFlow accepted unknown backend")
+	}
+}

@@ -183,7 +183,9 @@ func abs64(v int64) int64 {
 	return v
 }
 
-// SolverMode selects how the LP's (AᵀDA)-solves are performed.
+// SolverMode selects how the LP's (AᵀDA)-solves are performed. It is a thin
+// veneer over the lp backend registry kept for API compatibility; new code
+// should address backends by name (Options.Backend, lp.Backends()).
 type SolverMode int
 
 const (
@@ -193,26 +195,94 @@ const (
 	// Laplacian system solved by conjugate gradients — the structure
 	// Lemma 5.1 exploits.
 	SolverGremban
+	// SolverCSRCG applies A, D, Aᵀ as composed linear operators inside
+	// conjugate gradients, never materializing AᵀDA.
+	SolverCSRCG
 )
 
-// ATDASolver returns the lp.ATDASolve for the requested mode.
-func (f *LPForm) ATDASolver(mode SolverMode) lp.ATDASolve {
-	switch mode {
+// BackendName maps the mode to its lp registry name.
+func (m SolverMode) BackendName() string {
+	switch m {
 	case SolverGremban:
+		return "gremban"
+	case SolverCSRCG:
+		return "csr-cg"
+	default:
+		return "dense"
+	}
+}
+
+// Configure points the LP at the named AᵀDA backend. For "gremban" it
+// installs the flow-structured fast path (assembling the SDD matrix
+// directly from arcs instead of generic Gram assembly); every other name is
+// resolved through the lp registry, erroring on unknown backends before the
+// IPM starts.
+func (f *LPForm) Configure(backend string) error {
+	if backend == "" {
+		backend = lp.DefaultBackend
+	}
+	if backend == "gremban" {
+		gram := linalg.NewDense(f.NPrime, f.NPrime)
+		lapSolve := lapsolver.NewCGLapSolver()
+		f.Prob.Backend = ""
+		f.Prob.Solve = func(dvec, y []float64) ([]float64, error) {
+			f.assembleATDAInto(dvec, gram)
+			return lapsolver.SDDSolve(gram, y, lapSolve)
+		}
+		return nil
+	}
+	// Instantiate once and install the solver directly: this both validates
+	// the name up front (before the IPM starts) and spares lp.Solve from
+	// building the same backend a second time.
+	solve, err := lp.NewBackendSolver(backend, f.Prob.A)
+	if err != nil {
+		return err
+	}
+	f.Prob.Solve = solve
+	f.Prob.Backend = backend
+	return nil
+}
+
+// ATDASolver returns the lp.ATDASolve for the requested mode, resolving
+// non-gremban modes through the registry so every enum value reaches the
+// backend it names (a nil return means "let lp.Problem use its default",
+// which is only correct for SolverDense).
+//
+// Deprecated: use Configure / Options.Backend; kept for callers that still
+// pass SolverMode values around.
+func (f *LPForm) ATDASolver(mode SolverMode) lp.ATDASolve {
+	if mode == SolverGremban {
+		lapSolve := lapsolver.NewCGLapSolver()
 		return func(dvec, y []float64) ([]float64, error) {
 			m := f.assembleATDA(dvec)
-			return lapsolver.SDDSolve(m, y, lapsolver.CGLapSolve)
+			return lapsolver.SDDSolve(m, y, lapSolve)
 		}
-	default:
-		return nil // lp.Problem falls back to the dense solver
 	}
+	if name := mode.BackendName(); name != lp.DefaultBackend {
+		if sol, err := lp.NewBackendSolver(name, f.Prob.A); err == nil {
+			return sol
+		}
+	}
+	return nil // dense: lp.Problem's default backend
 }
 
 // assembleATDA builds AᵀDA = BᵀD₁B + D₂ + D₃ + d_F·e_t e_tᵀ densely (the
 // matrix is (|V|−1)×(|V|−1), tiny compared to the LP).
 func (f *LPForm) assembleATDA(dvec []float64) *linalg.Dense {
+	out := linalg.NewDense(f.NPrime, f.NPrime)
+	f.assembleATDAInto(dvec, out)
+	return out
+}
+
+// assembleATDAInto writes AᵀDA into a caller-owned (reused) buffer.
+func (f *LPForm) assembleATDAInto(dvec []float64, out *linalg.Dense) {
 	n := f.NPrime
-	out := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
+	}
 	vidx := vertexIndex(f.D.N(), f.S)
 	for i := 0; i < f.D.M(); i++ {
 		a := f.D.Arc(i)
@@ -234,7 +304,6 @@ func (f *LPForm) assembleATDA(dvec []float64) *linalg.Dense {
 	}
 	tIdx := vidx[f.T]
 	out.Inc(tIdx, tIdx, dvec[f.OffF])
-	return out
 }
 
 // RoundFlow converts an approximate LP point into integral per-arc flows:

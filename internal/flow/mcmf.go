@@ -18,8 +18,14 @@ type Options struct {
 	// Retries is the number of perturbation attempts (each succeeds with
 	// probability ≥ 1/2 per Daitch–Spielman; footnote 7's boosting).
 	Retries int
-	// Solver picks the (AᵀDA) strategy (dense reference or Gremban +
-	// Laplacian CG as in Lemma 5.1).
+	// Backend names the (AᵀDA) strategy from the lp backend registry
+	// ("dense", "gremban", "csr-cg", …); empty falls back to Solver, then
+	// to the dense reference.
+	Backend string
+	// Solver picks the (AᵀDA) strategy by enum.
+	//
+	// Deprecated: set Backend; Solver is kept as an alias for existing
+	// callers and is ignored when Backend is non-empty.
 	Solver SolverMode
 	// LP forwards interior-point parameters.
 	LP lp.Params
@@ -56,8 +62,13 @@ func MinCostMaxFlow(d *graph.Digraph, s, t int, opts Options) (*Result, error) {
 	if opts.Retries == 0 {
 		opts.Retries = 5
 	}
-	if opts.Solver == 0 {
-		opts.Solver = SolverDense
+	backend := opts.Backend
+	if backend == "" {
+		mode := opts.Solver
+		if mode == 0 {
+			mode = SolverDense
+		}
+		backend = mode.BackendName()
 	}
 	rnd := opts.Rand
 	if rnd == nil {
@@ -69,7 +80,9 @@ func MinCostMaxFlow(d *graph.Digraph, s, t int, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		form.Prob.Solve = form.ATDASolver(opts.Solver)
+		if err := form.Configure(backend); err != nil {
+			return nil, err
+		}
 		par := opts.LP
 		par.Net = opts.Net
 		if par.Seed == 0 {

@@ -51,6 +51,15 @@ type Solver struct {
 	// it global knowledge.
 	PreprocessRounds int
 	floatBits        int
+
+	// Per-instance solve state, allocated once and reused across Solve
+	// calls (a Solver is not safe for concurrent use, matching the model:
+	// one network, one sequential round structure).
+	ws    *linalg.Workspace
+	mulA  linalg.LinOp // L_G with distributed-round accounting
+	pb    []float64    // projected right-hand side
+	y     []float64    // Chebyshev iterate
+	resid []float64    // residual scratch for the CG safeguard
 }
 
 // Config tunes the solver.
@@ -136,6 +145,25 @@ func New(g *graph.Graph, cfg Config) (*Solver, error) {
 	if s.kappa < 3 {
 		s.kappa = 3
 	}
+	// One-time solve state: the CSR of L_G doubles as the LinOp applied at
+	// every iteration (wrapped for round accounting), and all iterate
+	// vectors live in a reusable workspace.
+	s.ws = linalg.NewWorkspace()
+	s.pb = make([]float64, n)
+	s.y = make([]float64, n)
+	s.resid = make([]float64, n)
+	s.mulA = linalg.FuncOp{R: n, C: n, Apply: func(dst, x []float64) {
+		if s.net != nil {
+			// One distributed matrix-vector product: every vertex
+			// broadcasts its coordinate with O(log(nU/ε)) bits.
+			s.net.BeginPhase()
+			for v := 0; v < n; v++ {
+				s.net.Broadcast(v, s.floatBits, nil)
+			}
+			s.net.EndPhase()
+		}
+		s.lg.MulVecTo(dst, x)
+	}}
 	return s, nil
 }
 
@@ -166,47 +194,45 @@ func (s *Solver) Solve(b []float64, eps float64) ([]float64, Stats, error) {
 	if eps <= 0 || eps > 0.5 {
 		return nil, Stats{}, fmt.Errorf("lapsolver: eps %g outside (0, 1/2]", eps)
 	}
-	pb := linalg.ProjectOutOnes(b)
+	copy(s.pb, b)
+	linalg.ProjectOutOnesInPlace(s.pb)
 	startRounds := 0
 	if s.net != nil {
 		startRounds = s.net.Rounds()
 	}
-	mulA := func(x []float64) []float64 {
-		if s.net != nil {
-			// One distributed matrix-vector product: every vertex
-			// broadcasts its coordinate with O(log(nU/ε)) bits.
-			s.net.BeginPhase()
-			for v := 0; v < s.g.N(); v++ {
-				s.net.Broadcast(v, s.floatBits, nil)
-			}
-			s.net.EndPhase()
-		}
-		return s.lg.MulVec(x)
-	}
 	// B := hi·L_H, the measured analogue of Corollary 2.4's (1+1/2)·L_H;
-	// solving in B is internal computation (H is global knowledge).
-	solveB := func(r []float64) []float64 {
-		y := linalg.CholSolve(s.chol, linalg.ProjectOutOnes(r))
-		linalg.Scale(1/s.hiScale, y)
-		return linalg.ProjectOutOnes(y)
+	// solving in B is internal computation (H is global knowledge). The
+	// Cholesky factor was computed once in New and is reused verbatim here.
+	solveBTo := func(dst, r []float64) {
+		copy(dst, r)
+		linalg.ProjectOutOnesInPlace(dst)
+		linalg.CholSolveInPlace(s.chol, dst)
+		linalg.Scale(1/s.hiScale, dst)
+		linalg.ProjectOutOnesInPlace(dst)
 	}
-	y, chres := linalg.PreconditionedChebyshev(mulA, solveB, pb, s.kappa, eps)
+	chres := linalg.PreconditionedChebyshevTo(s.y, s.mulA, solveBTo, s.pb, s.kappa, eps, s.ws)
 	st := Stats{Iterations: chres.Iterations, ResidualNorm: chres.ResidualNorm}
-	if bn := linalg.Norm2(pb); chres.ResidualNorm > eps*bn {
+	if bn := linalg.Norm2(s.pb); chres.ResidualNorm > eps*bn {
 		// Safeguard for sparsifiers whose measured pencil band was an
 		// underestimate: finish with preconditioned CG using the same
 		// preconditioner. Same per-iteration communication cost.
 		extraTol := eps * 1e-2
-		y2, err := linalg.CG(linalg.OpFunc(mulA), pb, extraTol, 6*s.g.N()+200, solveB)
+		y2 := s.ws.Get(len(s.pb))
+		err := linalg.CGTo(y2, s.mulA, s.pb, extraTol, 6*s.g.N()+200, solveBTo, s.ws)
 		if err == nil {
-			y = y2
-			st.ResidualNorm = linalg.Norm2(linalg.Sub(pb, s.lg.MulVec(y)))
+			copy(s.y, y2)
+			s.lg.MulVecTo(s.resid, s.y)
+			for i := range s.resid {
+				s.resid[i] = s.pb[i] - s.resid[i]
+			}
+			st.ResidualNorm = linalg.Norm2(s.resid)
 		}
+		s.ws.Put(y2)
 	}
 	if s.net != nil {
 		st.Rounds = s.net.Rounds() - startRounds
 	}
-	return linalg.ProjectOutOnes(y), st, nil
+	return linalg.ProjectOutOnes(s.y), st, nil
 }
 
 // SolveExact solves L_G x = b (b ⊥ 1 enforced) by conjugate gradients to

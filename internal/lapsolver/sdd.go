@@ -92,37 +92,71 @@ func SDDSolve(m *linalg.Dense, y []float64, lapSolve func(edges []linalg.WEdge, 
 	return x, nil
 }
 
-// CGLapSolve is a ready-made lapSolve callback for SDDSolve: Jacobi-
+// NewCGLapSolver returns a lapSolve callback for SDDSolve: Jacobi-
 // preconditioned conjugate gradients on the reduction Laplacian. The
 // barrier-weighted matrices of the LP solver span many orders of magnitude,
 // so diagonal preconditioning and a relaxed acceptance threshold (the IPM
 // only needs poly(1/m) precision per the paper) keep the solves robust.
+// The returned closure owns a workspace reused across calls (one closure
+// per sequential solve stream; not safe for concurrent use).
+func NewCGLapSolver() func(edges []linalg.WEdge, nn int, b []float64) ([]float64, error) {
+	ws := linalg.NewWorkspace()
+	return func(edges []linalg.WEdge, nn int, b []float64) ([]float64, error) {
+		lap := linalg.LaplacianOp{N: nn, Edges: edges}
+		diag := ws.Get(nn)
+		pb := ws.Get(nn)
+		tmp := ws.Get(nn)
+		x := ws.Get(nn)
+		defer func() {
+			ws.Put(diag)
+			ws.Put(pb)
+			ws.Put(tmp)
+			ws.Put(x)
+		}()
+		for i := range diag {
+			diag[i] = 0
+		}
+		for _, e := range edges {
+			diag[e.U] += e.W
+			diag[e.V] += e.W
+		}
+		for i, v := range diag {
+			if v <= 0 {
+				diag[i] = 1
+			}
+		}
+		copy(pb, b)
+		linalg.ProjectOutOnesInPlace(pb)
+		op := linalg.FuncOp{R: nn, C: nn, Apply: func(dst, v []float64) {
+			copy(tmp, v)
+			linalg.ProjectOutOnesInPlace(tmp)
+			lap.MulVecTo(dst, tmp)
+			linalg.ProjectOutOnesInPlace(dst)
+		}}
+		precondTo := func(dst, r []float64) {
+			for i := range r {
+				dst[i] = r[i] / diag[i]
+			}
+			linalg.ProjectOutOnesInPlace(dst)
+		}
+		err := linalg.CGTo(x, op, pb, 1e-10, 40*nn+4000, precondTo, ws)
+		if err != nil {
+			// Accept the best iterate when it is precise enough for the IPM.
+			ax := ws.Get(nn)
+			op.MulVecTo(ax, x)
+			res := linalg.Norm2(linalg.Sub(pb, ax))
+			ws.Put(ax)
+			if res > 1e-6*(1+linalg.Norm2(pb)) {
+				return nil, err
+			}
+		}
+		// x is workspace-owned; hand the caller a fresh projected copy.
+		return linalg.ProjectOutOnes(x), nil
+	}
+}
+
+// CGLapSolve is the one-shot form of NewCGLapSolver for callers outside a
+// solve loop.
 func CGLapSolve(edges []linalg.WEdge, nn int, b []float64) ([]float64, error) {
-	l := linalg.LaplacianCSR(nn, edges)
-	diag := l.Diag()
-	for i, v := range diag {
-		if v <= 0 {
-			diag[i] = 1
-		}
-	}
-	pb := linalg.ProjectOutOnes(b)
-	op := linalg.OpFunc(func(x []float64) []float64 {
-		return linalg.ProjectOutOnes(l.MulVec(linalg.ProjectOutOnes(x)))
-	})
-	precond := func(r []float64) []float64 {
-		out := make([]float64, len(r))
-		for i := range r {
-			out[i] = r[i] / diag[i]
-		}
-		return linalg.ProjectOutOnes(out)
-	}
-	x, err := linalg.CG(op, pb, 1e-10, 40*nn+4000, precond)
-	if err != nil {
-		// Accept the best iterate when it is precise enough for the IPM.
-		res := linalg.Norm2(linalg.Sub(pb, op.MulVec(x)))
-		if res > 1e-6*(1+linalg.Norm2(pb)) {
-			return nil, err
-		}
-	}
-	return linalg.ProjectOutOnes(x), nil
+	return NewCGLapSolver()(edges, nn, b)
 }

@@ -18,41 +18,59 @@ type OpFunc func(x []float64) []float64
 // MulVec applies the wrapped function.
 func (f OpFunc) MulVec(x []float64) []float64 { return f(x) }
 
-// CG solves the symmetric positive-definite system A x = b with conjugate
-// gradients to relative residual tol, starting from x = 0. precond, if
-// non-nil, applies an SPD preconditioner M⁻¹.
-func CG(a MulVecer, b []float64, tol float64, maxIter int, precond func([]float64) []float64) ([]float64, error) {
+// CGTo solves the symmetric positive-definite system A x = b with conjugate
+// gradients to relative residual tol, writing the solution into x (length n,
+// initialized to zero by this function). precondTo, if non-nil, applies an
+// SPD preconditioner M⁻¹ into its first argument. All temporaries come from
+// ws, so repeated solves through a shared workspace allocate nothing.
+func CGTo(x []float64, a LinOp, b []float64, tol float64, maxIter int, precondTo func(dst, r []float64), ws *Workspace) error {
 	n := len(b)
-	x := make([]float64, n)
-	r := Clone(b)
+	if len(x) != n {
+		panic("linalg: CGTo dimension mismatch")
+	}
+	for i := range x {
+		x[i] = 0
+	}
 	bnorm := Norm2(b)
 	if bnorm == 0 {
-		return x, nil
+		return nil
 	}
-	apply := func(v []float64) []float64 {
-		if precond == nil {
-			return Clone(v)
+	r := ws.Get(n)
+	copy(r, b)
+	z := ws.Get(n)
+	p := ws.Get(n)
+	ap := ws.Get(n)
+	defer func() {
+		ws.Put(r)
+		ws.Put(z)
+		ws.Put(p)
+		ws.Put(ap)
+	}()
+	apply := func(dst, v []float64) {
+		if precondTo == nil {
+			copy(dst, v)
+		} else {
+			precondTo(dst, v)
 		}
-		return precond(v)
 	}
-	z := apply(r)
-	p := Clone(z)
+	apply(z, r)
+	copy(p, z)
 	rz := Dot(r, z)
 	for it := 0; it < maxIter; it++ {
 		if Norm2(r) <= tol*bnorm {
-			return x, nil
+			return nil
 		}
-		ap := a.MulVec(p)
+		a.MulVecTo(ap, p)
 		pap := Dot(p, ap)
 		if pap <= 0 {
 			// Not SPD in this direction (or numerically exhausted); stop with
 			// the best iterate rather than diverging.
-			return x, nil
+			return nil
 		}
 		alpha := rz / pap
 		AXPY(alpha, p, x)
 		AXPY(-alpha, ap, r)
-		z = apply(r)
+		apply(z, r)
 		rzNew := Dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew
@@ -61,9 +79,24 @@ func CG(a MulVecer, b []float64, tol float64, maxIter int, precond func([]float6
 		}
 	}
 	if Norm2(r) <= tol*bnorm {
-		return x, nil
+		return nil
 	}
-	return x, ErrNoConvergence
+	return ErrNoConvergence
+}
+
+// CG solves A x = b with conjugate gradients, allocating its result and
+// temporaries (wrapper over CGTo for callers without a workspace). precond,
+// if non-nil, applies an SPD preconditioner M⁻¹.
+func CG(a MulVecer, b []float64, tol float64, maxIter int, precond func([]float64) []float64) ([]float64, error) {
+	n := len(b)
+	x := make([]float64, n)
+	op := FuncOp{R: n, C: n, Apply: func(dst, v []float64) { copy(dst, a.MulVec(v)) }}
+	var precondTo func(dst, r []float64)
+	if precond != nil {
+		precondTo = func(dst, r []float64) { copy(dst, precond(r)) }
+	}
+	err := CGTo(x, op, b, tol, maxIter, precondTo, nil)
+	return x, err
 }
 
 // CGLaplacian solves L x = b for a graph Laplacian L, handling the span{1}

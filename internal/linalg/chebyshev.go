@@ -11,32 +11,48 @@ type ChebyshevResult struct {
 	ResidualNorm float64
 }
 
-// PreconditionedChebyshev implements Theorem 2.3 of the paper: given
-// symmetric PSD A and B with A ≼ B ≼ κA, a vector b and ε ∈ (0, 1/2], it
-// returns y with ||x − y||_A ≤ ε ||x||_A for the solution x of A x = b,
-// using O(√κ · log(1/ε)) iterations. Each iteration multiplies A by one
-// vector (mulA) and solves one system in B (solveB).
+// PreconditionedChebyshevTo implements Theorem 2.3 of the paper with
+// caller-provided storage: given symmetric PSD A (as a LinOp) and a solver
+// for B with A ≼ B ≼ κA, a vector b and ε ∈ (0, 1/2], it writes y into x
+// with ||x* − y||_A ≤ ε ||x*||_A for the solution x* of A x* = b, using
+// O(√κ · log(1/ε)) iterations. solveBTo applies B⁻¹ into its first
+// argument. Temporaries come from ws; repeated solves through a shared
+// workspace allocate nothing.
 //
 // The iteration is classical Chebyshev semi-iteration on the preconditioned
 // operator B⁻¹A, whose spectrum lies in [1/κ, 1] (restricted to the range of
 // A; callers handle nullspaces, e.g. by projecting out the all-ones vector
 // for Laplacians).
-func PreconditionedChebyshev(mulA, solveB func([]float64) []float64, b []float64, kappa, eps float64) ([]float64, ChebyshevResult) {
+func PreconditionedChebyshevTo(x []float64, a LinOp, solveBTo func(dst, r []float64), b []float64, kappa, eps float64, ws *Workspace) ChebyshevResult {
 	n := len(b)
+	if len(x) != n {
+		panic("linalg: PreconditionedChebyshevTo dimension mismatch")
+	}
 	lmin, lmax := 1/kappa, 1.0
 	theta := (lmax + lmin) / 2
 	delta := (lmax - lmin) / 2
 
 	iters := int(math.Ceil(math.Sqrt(kappa)*math.Log(2/eps))) + 1
-	x := make([]float64, n)
-	r := Clone(b)
-	var p []float64
+	for i := range x {
+		x[i] = 0
+	}
+	r := ws.Get(n)
+	copy(r, b)
+	z := ws.Get(n)
+	p := ws.Get(n)
+	ax := ws.Get(n)
+	defer func() {
+		ws.Put(r)
+		ws.Put(z)
+		ws.Put(p)
+		ws.Put(ax)
+	}()
 	var alpha float64
 	for k := 0; k < iters; k++ {
-		z := solveB(r)
+		solveBTo(z, r)
 		switch k {
 		case 0:
-			p = Clone(z)
+			copy(p, z)
 			alpha = 1 / theta
 		default:
 			var beta float64
@@ -51,10 +67,20 @@ func PreconditionedChebyshev(mulA, solveB func([]float64) []float64, b []float64
 			}
 		}
 		AXPY(alpha, p, x)
-		ax := mulA(x)
+		a.MulVecTo(ax, x)
 		for i := range r {
 			r[i] = b[i] - ax[i]
 		}
 	}
-	return x, ChebyshevResult{Iterations: iters, ResidualNorm: Norm2(r)}
+	return ChebyshevResult{Iterations: iters, ResidualNorm: Norm2(r)}
+}
+
+// PreconditionedChebyshev is the allocating wrapper over
+// PreconditionedChebyshevTo for callers holding closures instead of LinOps.
+func PreconditionedChebyshev(mulA, solveB func([]float64) []float64, b []float64, kappa, eps float64) ([]float64, ChebyshevResult) {
+	n := len(b)
+	x := make([]float64, n)
+	op := FuncOp{R: n, C: n, Apply: func(dst, v []float64) { copy(dst, mulA(v)) }}
+	res := PreconditionedChebyshevTo(x, op, func(dst, r []float64) { copy(dst, solveB(r)) }, b, kappa, eps, nil)
+	return x, res
 }

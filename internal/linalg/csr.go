@@ -65,37 +65,24 @@ func (m *CSR) Cols() int { return m.cols }
 // NNZ returns the number of stored nonzeros.
 func (m *CSR) NNZ() int { return len(m.vals) }
 
-// MulVec returns m * x.
+// MulVec returns m * x as a fresh vector (allocating wrapper over MulVecTo).
 func (m *CSR) MulVec(x []float64) []float64 {
 	if len(x) != m.cols {
 		panic(fmt.Sprintf("linalg: CSR MulVec got %d, want %d", len(x), m.cols))
 	}
 	out := make([]float64, m.rows)
-	for r := 0; r < m.rows; r++ {
-		var s float64
-		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
-			s += m.vals[k] * x[m.colIdx[k]]
-		}
-		out[r] = s
-	}
+	m.MulVecTo(out, x)
 	return out
 }
 
-// MulVecT returns mᵀ * x.
+// MulVecT returns mᵀ * x as a fresh vector (allocating wrapper over
+// MulVecTTo).
 func (m *CSR) MulVecT(x []float64) []float64 {
 	if len(x) != m.rows {
 		panic(fmt.Sprintf("linalg: CSR MulVecT got %d, want %d", len(x), m.rows))
 	}
 	out := make([]float64, m.cols)
-	for r := 0; r < m.rows; r++ {
-		xr := x[r]
-		if xr == 0 {
-			continue
-		}
-		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
-			out[m.colIdx[k]] += m.vals[k] * xr
-		}
-	}
+	m.MulVecTTo(out, x)
 	return out
 }
 

@@ -62,39 +62,24 @@ func (m *Dense) Clone() *Dense {
 	return out
 }
 
-// MulVec returns m * x.
+// MulVec returns m * x as a fresh vector (allocating wrapper over MulVecTo).
 func (m *Dense) MulVec(x []float64) []float64 {
 	if len(x) != m.cols {
 		panic(fmt.Sprintf("linalg: MulVec got %d, want %d", len(x), m.cols))
 	}
 	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		row := m.Row(i)
-		var s float64
-		for j, v := range row {
-			s += v * x[j]
-		}
-		out[i] = s
-	}
+	m.MulVecTo(out, x)
 	return out
 }
 
-// MulVecT returns mᵀ * x.
+// MulVecT returns mᵀ * x as a fresh vector (allocating wrapper over
+// MulVecTTo).
 func (m *Dense) MulVecT(x []float64) []float64 {
 	if len(x) != m.rows {
 		panic(fmt.Sprintf("linalg: MulVecT got %d, want %d", len(x), m.rows))
 	}
 	out := make([]float64, m.cols)
-	for i := 0; i < m.rows; i++ {
-		row := m.Row(i)
-		xi := x[i]
-		if xi == 0 {
-			continue
-		}
-		for j, v := range row {
-			out[j] += v * xi
-		}
-	}
+	m.MulVecTTo(out, x)
 	return out
 }
 
@@ -223,8 +208,15 @@ func (m *Dense) Cholesky() (*Dense, error) {
 
 // CholSolve solves L Lᵀ x = b given a lower Cholesky factor L.
 func CholSolve(l *Dense, b []float64) []float64 {
-	n := l.rows
 	y := Clone(b)
+	CholSolveInPlace(l, y)
+	return y
+}
+
+// CholSolveInPlace solves L Lᵀ x = y in place (y holds b on entry and x on
+// return), the allocation-free form of CholSolve.
+func CholSolveInPlace(l *Dense, y []float64) {
+	n := l.rows
 	for i := 0; i < n; i++ {
 		s := y[i]
 		for k := 0; k < i; k++ {
@@ -239,7 +231,6 @@ func CholSolve(l *Dense, b []float64) []float64 {
 		}
 		y[i] = s / l.At(i, i)
 	}
-	return y
 }
 
 // Eye returns the n×n identity matrix.

@@ -1,0 +1,125 @@
+package linalg
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// spmvMinNNZ is the nonzero count below which parallel SpMV is not worth the
+// goroutine fan-out and MulVecTo stays serial.
+const spmvMinNNZ = 1 << 14
+
+// spmvShards returns the shard count MulVecTo uses for this matrix: one
+// (serial) below the size threshold, otherwise up to NumCPU row blocks.
+func (m *CSR) spmvShards() int {
+	if len(m.vals) < spmvMinNNZ {
+		return 1
+	}
+	shards := runtime.NumCPU()
+	if shards > m.rows {
+		shards = m.rows
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
+// mulVecRange computes dst[r0:r1] = (m·x)[r0:r1]. Each row is accumulated in
+// the same order as the serial product, so any row partition yields
+// bit-for-bit identical results.
+func (m *CSR) mulVecRange(dst, x []float64, r0, r1 int) {
+	for r := r0; r < r1; r++ {
+		var s float64
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			s += m.vals[k] * x[m.colIdx[k]]
+		}
+		dst[r] = s
+	}
+}
+
+// MulVecTo computes dst = m·x without allocating. Large matrices are sharded
+// into row blocks processed by up to runtime.NumCPU() goroutines; rows are
+// summed in serial order inside each block, so the output is bit-for-bit
+// identical to the serial product regardless of the shard count.
+func (m *CSR) MulVecTo(dst, x []float64) {
+	checkApply(m, dst, x)
+	m.MulVecToShards(dst, x, m.spmvShards())
+}
+
+// MulVecToShards is MulVecTo with an explicit shard count (exported so tests
+// and benchmarks can pin serial vs parallel execution). shards ≤ 1 runs
+// serially.
+func (m *CSR) MulVecToShards(dst, x []float64, shards int) {
+	if len(dst) != m.rows || len(x) != m.cols {
+		panic(fmt.Sprintf("linalg: CSR MulVecToShards got dst=%d x=%d, want dst=%d x=%d", len(dst), len(x), m.rows, m.cols))
+	}
+	if shards > m.rows {
+		shards = m.rows
+	}
+	if shards <= 1 {
+		m.mulVecRange(dst, x, 0, m.rows)
+		return
+	}
+	// Static row-block partition: block i owns rows [i*q+min(i,rem), …).
+	// Disjoint dst segments mean no synchronization beyond the WaitGroup.
+	var wg sync.WaitGroup
+	q, rem := m.rows/shards, m.rows%shards
+	r0 := 0
+	for i := 0; i < shards; i++ {
+		r1 := r0 + q
+		if i < rem {
+			r1++
+		}
+		wg.Add(1)
+		go func(a, b int) {
+			defer wg.Done()
+			m.mulVecRange(dst, x, a, b)
+		}(r0, r1)
+		r0 = r1
+	}
+	wg.Wait()
+}
+
+// GramDiagTo writes diag(mᵀ·diag(d)·m) into dst (length Cols) in O(nnz) —
+// the Jacobi preconditioner of the csr-cg normal-equation backend.
+func (m *CSR) GramDiagTo(dst, d []float64) {
+	if len(d) != m.rows || len(dst) != m.cols {
+		panic(fmt.Sprintf("linalg: CSR GramDiagTo got dst=%d d=%d, want dst=%d d=%d", len(dst), len(d), m.cols, m.rows))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for r := 0; r < m.rows; r++ {
+		dr := d[r]
+		if dr == 0 {
+			continue
+		}
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			v := m.vals[k]
+			dst[m.colIdx[k]] += dr * v * v
+		}
+	}
+}
+
+// MulVecTTo computes dst = mᵀ·x without allocating. The column scatter is
+// serial: parallelizing it would race on dst (or require per-shard copies),
+// and the transpose product is never the bottleneck in this codebase.
+func (m *CSR) MulVecTTo(dst, x []float64) {
+	if len(x) != m.rows || len(dst) != m.cols {
+		panic(fmt.Sprintf("linalg: CSR MulVecTTo got dst=%d x=%d, want dst=%d x=%d", len(dst), len(x), m.cols, m.rows))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for r := 0; r < m.rows; r++ {
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			dst[m.colIdx[k]] += m.vals[k] * xr
+		}
+	}
+}

@@ -213,12 +213,21 @@ func ProjectOutOnes(x []float64) []float64 {
 	if len(x) == 0 {
 		return nil
 	}
-	mean := Sum(x) / float64(len(x))
-	out := make([]float64, len(x))
-	for i, v := range x {
-		out[i] = v - mean
-	}
+	out := Clone(x)
+	ProjectOutOnesInPlace(out)
 	return out
+}
+
+// ProjectOutOnesInPlace subtracts the mean from every entry of x, the
+// allocation-free form of ProjectOutOnes for workspace-based solvers.
+func ProjectOutOnesInPlace(x []float64) {
+	if len(x) == 0 {
+		return
+	}
+	mean := Sum(x) / float64(len(x))
+	for i := range x {
+		x[i] -= mean
+	}
 }
 
 // Median3 returns the median of a, b and c. The paper's algorithms use

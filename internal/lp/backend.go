@@ -1,0 +1,203 @@
+// Backend registry for the normal-equation solves of the interior-point
+// method. Every path step of Solve reduces to systems (AᵀDA)x = y with a
+// fresh positive diagonal D; how those systems are solved is the single
+// biggest performance lever in the pipeline, so the strategy is pluggable:
+// callers pick a registered backend by name (Problem.Backend) or inject a
+// custom ATDASolve (Problem.Solve).
+//
+// Built-in backends:
+//
+//	dense   — assemble AᵀDA densely and factorize (Cholesky with Gaussian
+//	          fallback); the exact reference, O(n³) per solve.
+//	gremban — assemble AᵀDA, reduce to a Laplacian on 2n vertices via the
+//	          Gremban reduction (Lemma 5.1) and solve by preconditioned CG;
+//	          requires the SDD structure the flow LP guarantees.
+//	csr-cg  — never materialize AᵀDA: apply A, D and Aᵀ as composed linear
+//	          operators inside Jacobi-preconditioned CG. O(nnz) per
+//	          iteration, and the only backend that scales past tiny n.
+package lp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bcclap/internal/lapsolver"
+	"bcclap/internal/linalg"
+)
+
+// BackendFactory builds an ATDASolve bound to a fixed constraint matrix A.
+// The returned closure is invoked once per path step with a fresh diagonal;
+// factories should hoist all D-independent state (transposes, workspaces,
+// symbolic structure) so the per-call cost is pure numerics. The returned
+// solver is used sequentially; it need not be safe for concurrent calls.
+type BackendFactory func(a *linalg.CSR) (ATDASolve, error)
+
+var (
+	backendMu sync.RWMutex
+	backends  = map[string]BackendFactory{}
+)
+
+// RegisterBackend makes a named AᵀDA strategy available to Problem.Backend.
+// It panics on a duplicate or empty name (registration is an init-time
+// programming act, not a runtime input).
+func RegisterBackend(name string, f BackendFactory) {
+	if name == "" || f == nil {
+		panic("lp: RegisterBackend with empty name or nil factory")
+	}
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if _, dup := backends[name]; dup {
+		panic(fmt.Sprintf("lp: backend %q registered twice", name))
+	}
+	backends[name] = f
+}
+
+// Backends returns the sorted names of all registered backends.
+func Backends() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	names := make([]string, 0, len(backends))
+	for name := range backends {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewBackendSolver instantiates the named backend for A.
+func NewBackendSolver(name string, a *linalg.CSR) (ATDASolve, error) {
+	backendMu.RLock()
+	f, ok := backends[name]
+	backendMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("lp: unknown backend %q (registered: %v)", name, Backends())
+	}
+	return f(a)
+}
+
+// DefaultBackend is the name Problem.solver falls back to when neither
+// Solve nor Backend is set.
+const DefaultBackend = "dense"
+
+func init() {
+	RegisterBackend("dense", denseBackend)
+	RegisterBackend("gremban", grembanBackend)
+	RegisterBackend("csr-cg", csrCGBackend)
+}
+
+// denseBackend assembles AᵀDA into a reused n×n buffer and factorizes it
+// per call; the reference for tests and small instances.
+func denseBackend(a *linalg.CSR) (ATDASolve, error) {
+	n := a.Cols()
+	gram := linalg.NewDense(n, n)
+	return func(d, y []float64) ([]float64, error) {
+		if err := checkATDAArgs(a, d, y); err != nil {
+			return nil, err
+		}
+		assembleGram(a, d, gram)
+		chol, err := gram.Cholesky()
+		if err != nil {
+			// Fall back to pivoted Gaussian elimination for semidefinite
+			// edge cases (e.g. a bound exactly hit by degenerate weights).
+			return gram.Solve(y)
+		}
+		return linalg.CholSolve(chol, y), nil
+	}, nil
+}
+
+// grembanBackend assembles AᵀDA (reusing the buffer) and routes the solve
+// through the Gremban reduction to a 2n-vertex Laplacian handled by
+// preconditioned CG — the Lemma 5.1 path. It requires AᵀDA to be SDD with
+// non-positive off-diagonals, which holds for incidence-structured A such
+// as the flow LP's; other matrices get an ErrNotSDD at solve time.
+func grembanBackend(a *linalg.CSR) (ATDASolve, error) {
+	n := a.Cols()
+	gram := linalg.NewDense(n, n)
+	lapSolve := lapsolver.NewCGLapSolver()
+	return func(d, y []float64) ([]float64, error) {
+		if err := checkATDAArgs(a, d, y); err != nil {
+			return nil, err
+		}
+		assembleGram(a, d, gram)
+		return lapsolver.SDDSolve(gram, y, lapSolve)
+	}, nil
+}
+
+// csrCGBackend solves (AᵀDA)x = y without ever materializing the Gram
+// matrix: A, diag(D) and Aᵀ are applied as one composed LinOp inside
+// Jacobi-preconditioned conjugate gradients. All vectors live in a
+// workspace created once per factory call, so the Õ(√n) path steps of an
+// IPM run share their buffers.
+func csrCGBackend(a *linalg.CSR) (ATDASolve, error) {
+	n := a.Cols()
+	// op = Aᵀ · diag(dbuf) · A; dbuf is refreshed per call, so the composed
+	// operator tracks the current barrier diagonal without reconstruction.
+	dbuf := make([]float64, a.Rows())
+	ws := linalg.NewWorkspace()
+	op := linalg.Compose(ws, linalg.TransposeOp{A: a}, linalg.DiagOp{D: dbuf}, a)
+	diag := make([]float64, n)
+	x := make([]float64, n)
+	ax := make([]float64, n)
+	precondTo := func(dst, r []float64) {
+		for i := range r {
+			dst[i] = r[i] / diag[i]
+		}
+	}
+	return func(d, y []float64) ([]float64, error) {
+		if err := checkATDAArgs(a, d, y); err != nil {
+			return nil, err
+		}
+		copy(dbuf, d)
+		a.GramDiagTo(diag, d)
+		for i, v := range diag {
+			if v <= 0 {
+				diag[i] = 1
+			}
+		}
+		// The barrier weights span many orders of magnitude, so aim for a
+		// tight residual but accept poly(1/m) precision (all the IPM needs,
+		// as in the Gremban route).
+		err := linalg.CGTo(x, op, y, 1e-10, 40*n+4000, precondTo, ws)
+		if err != nil {
+			op.MulVecTo(ax, x)
+			if linalg.Norm2(linalg.Sub(y, ax)) > 1e-6*(1+linalg.Norm2(y)) {
+				return nil, err
+			}
+		}
+		return linalg.Clone(x), nil
+	}, nil
+}
+
+// assembleGram writes AᵀDA into gram (resetting it first), visiting each
+// row's nonzero pattern once per pair.
+func assembleGram(a *linalg.CSR, d []float64, gram *linalg.Dense) {
+	n := a.Cols()
+	for i := 0; i < n; i++ {
+		row := gram.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	for r := 0; r < a.Rows(); r++ {
+		dr := d[r]
+		if dr == 0 {
+			continue
+		}
+		a.VisitRow(r, func(ci int, vi float64) {
+			a.VisitRow(r, func(cj int, vj float64) {
+				gram.Inc(ci, cj, dr*vi*vj)
+			})
+		})
+	}
+}
+
+func checkATDAArgs(a *linalg.CSR, d, y []float64) error {
+	if len(d) != a.Rows() {
+		return fmt.Errorf("lp: AᵀDA diagonal has %d entries, want %d", len(d), a.Rows())
+	}
+	if len(y) != a.Cols() {
+		return fmt.Errorf("lp: AᵀDA right-hand side has %d entries, want %d", len(y), a.Cols())
+	}
+	return nil
+}

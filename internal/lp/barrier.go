@@ -89,6 +89,12 @@ func (b *Barriers) Phi(x []float64) []float64 {
 // D1 returns the derivatives φ′_i(x_i).
 func (b *Barriers) D1(x []float64) []float64 {
 	out := make([]float64, len(x))
+	b.D1To(out, x)
+	return out
+}
+
+// D1To writes the derivatives φ′_i(x_i) into out (allocation-free form).
+func (b *Barriers) D1To(out, x []float64) {
 	for i, v := range x {
 		switch {
 		case math.IsInf(b.u[i], 1):
@@ -100,13 +106,19 @@ func (b *Barriers) D1(x []float64) []float64 {
 			out[i] = a * math.Tan(a*v+off)
 		}
 	}
-	return out
 }
 
 // D2 returns the second derivatives φ″_i(x_i) (always positive on the
 // interior).
 func (b *Barriers) D2(x []float64) []float64 {
 	out := make([]float64, len(x))
+	b.D2To(out, x)
+	return out
+}
+
+// D2To writes the second derivatives φ″_i(x_i) into out (allocation-free
+// form).
+func (b *Barriers) D2To(out, x []float64) {
 	for i, v := range x {
 		switch {
 		case math.IsInf(b.u[i], 1):
@@ -121,7 +133,6 @@ func (b *Barriers) D2(x []float64) []float64 {
 			out[i] = a * a * (1 + t*t)
 		}
 	}
-	return out
 }
 
 // StepToBoundary returns the largest s ∈ (0, 1] such that x + s·dx stays

@@ -23,7 +23,11 @@ func TestLewisWeightsPTwoAreLeverageScores(t *testing.T) {
 	m, n := 20, 4
 	a := tallMatrix(m, n, rnd)
 	prob := &Problem{A: a}
-	lev := NewLeverageFn(a, prob.solver(), true, 0, 1)
+	sol, err := prob.solver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lev := NewLeverageFn(a, sol, true, 0, 1)
 	base := linalg.Ones(m)
 	// For p = 2, W^{1/2−1/p} = W⁰ = I, so the fixed point is σ(A) itself.
 	sigma, err := lev(base)
@@ -48,7 +52,11 @@ func TestLewisFixedPoint(t *testing.T) {
 	m, n := 24, 4
 	a := tallMatrix(m, n, rnd)
 	prob := &Problem{A: a}
-	lev := NewLeverageFn(a, prob.solver(), true, 0, 1)
+	sol, err := prob.solver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lev := NewLeverageFn(a, sol, true, 0, 1)
 	base := linalg.Ones(m)
 	p := 1.2
 	par := DefaultLewisParams()
@@ -88,7 +96,11 @@ func TestComputeInitialWeightsStepCountScales(t *testing.T) {
 		m := 3 * n
 		a := tallMatrix(m, n, rnd)
 		prob := &Problem{A: a}
-		lev := NewLeverageFn(a, prob.solver(), true, 0, 1)
+		sol, err := prob.solver()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lev := NewLeverageFn(a, sol, true, 0, 1)
 		par := DefaultLewisParams()
 		par.MaxIters = 2
 		_, st, err := ComputeInitialWeights(lev, linalg.Ones(m), 1-1/math.Log(4*float64(m)), n, m, par, 10000)

@@ -8,8 +8,8 @@ import (
 )
 
 // ATDASolve solves (AᵀDA)x = y for the positive diagonal D (given as a
-// vector). The min-cost-flow pipeline plugs in the Gremban + Laplacian
-// solver here (Lemma 5.1); the default assembles AᵀDA densely.
+// vector). Implementations come from the backend registry (see backend.go)
+// or from a caller-supplied override on Problem.Solve.
 type ATDASolve func(d, y []float64) ([]float64, error)
 
 // Problem is the LP  min cᵀx  s.t.  Aᵀx = b,  l ≤ x ≤ u  (Section 4's
@@ -22,7 +22,11 @@ type Problem struct {
 	L []float64 // lower bounds, length m (−Inf allowed)
 	U []float64 // upper bounds, length m (+Inf allowed)
 
-	// Solve, if non-nil, overrides the dense default (AᵀDA)⁻¹ solver.
+	// Backend names a registered AᵀDA strategy ("dense", "gremban",
+	// "csr-cg", …); empty selects DefaultBackend.
+	Backend string
+
+	// Solve, if non-nil, overrides Backend with a custom (AᵀDA)⁻¹ solver.
 	Solve ATDASolve
 }
 
@@ -53,39 +57,18 @@ func (p *Problem) M() int { return p.A.Rows() }
 // N returns the number of equality constraints (columns of A).
 func (p *Problem) N() int { return p.A.Cols() }
 
-// solver returns the ATDASolve in use (dense fallback if unset).
-func (p *Problem) solver() ATDASolve {
+// solver instantiates the ATDASolve in use: the Solve override when set,
+// otherwise the registered backend named by Backend (DefaultBackend when
+// empty).
+func (p *Problem) solver() (ATDASolve, error) {
 	if p.Solve != nil {
-		return p.Solve
+		return p.Solve, nil
 	}
-	return func(d, y []float64) ([]float64, error) {
-		return denseATDASolve(p.A, d, y)
+	name := p.Backend
+	if name == "" {
+		name = DefaultBackend
 	}
-}
-
-// denseATDASolve assembles AᵀDA and solves with Cholesky; the reference
-// used by tests and small instances.
-func denseATDASolve(a *linalg.CSR, d, y []float64) ([]float64, error) {
-	n := a.Cols()
-	gram := linalg.NewDense(n, n)
-	for r := 0; r < a.Rows(); r++ {
-		dr := d[r]
-		if dr == 0 {
-			continue
-		}
-		a.VisitRow(r, func(ci int, vi float64) {
-			a.VisitRow(r, func(cj int, vj float64) {
-				gram.Inc(ci, cj, dr*vi*vj)
-			})
-		})
-	}
-	chol, err := gram.Cholesky()
-	if err != nil {
-		// Fall back to pivoted Gaussian elimination for semidefinite edge
-		// cases (e.g. a bound exactly hit by degenerate weights).
-		return gram.Solve(y)
-	}
-	return linalg.CholSolve(chol, y), nil
+	return NewBackendSolver(name, p.A)
 }
 
 // Residual returns ‖Aᵀx − b‖₂, the equality-constraint violation.

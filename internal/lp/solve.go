@@ -100,6 +100,31 @@ type ipm struct {
 	cNorm  float64
 	etaW   float64 // weight-update precision (practical e^R − 1)
 	counts Solution
+
+	// Centering scratch, allocated once in Solve and reused across every
+	// path step (the IPM performs Õ(√n) of them; per-step allocation was
+	// the dominant garbage source before the LinOp refactor).
+	scr struct {
+		phi1, phi2, phi2New []float64 // barrier derivatives at x / xNew
+		q, pq               []float64 // centrality direction and projection
+		dx, xNew            []float64 // Newton step
+		base, z, dvec, grad []float64 // weight-update intermediates
+		l, wNew             []float64 // mixed-ball radii, next weights
+		tmp, rhs, asol      []float64 // applyProjection temporaries
+	}
+}
+
+// initScratch sizes the reusable centering buffers.
+func (s *ipm) initScratch() {
+	m, n := s.m, s.n
+	v := func(k int) []float64 { return make([]float64, k) }
+	s.scr.phi1, s.scr.phi2, s.scr.phi2New = v(m), v(m), v(m)
+	s.scr.q, s.scr.pq = v(m), v(m)
+	s.scr.dx, s.scr.xNew = v(m), v(m)
+	s.scr.base, s.scr.z, s.scr.dvec, s.scr.grad = v(m), v(m), v(m), v(m)
+	s.scr.l, s.scr.wNew = v(m), v(m)
+	s.scr.tmp, s.scr.asol = v(m), v(m)
+	s.scr.rhs = v(n)
 }
 
 // Solve runs LPSolve (Algorithm 9): center x0 against the artificial cost
@@ -138,7 +163,11 @@ func Solve(prob *Problem, x0 []float64, eps float64, par Params) (*Solution, err
 	}
 	s.cNorm = 24 * math.Sqrt(4*s.cK)
 	s.etaW = 0.1
-	s.sol = prob.solver()
+	s.sol, err = prob.solver()
+	if err != nil {
+		return nil, err
+	}
+	s.initScratch()
 	s.lev = NewLeverageFn(prob.A, s.sol, par.ExactLeverage, par.LeverageEta, par.Seed)
 
 	// Initial regularized Lewis weights (Algorithm 9 line 1).
@@ -176,7 +205,8 @@ func Solve(prob *Problem, x0 []float64, eps float64, par Params) (*Solution, err
 		return nil, fmt.Errorf("lp: phase 2: %w", err)
 	}
 	_ = w
-	s.counts.X = x
+	// x is an internal scratch buffer; the Solution must own its iterate.
+	s.counts.X = linalg.Clone(x)
 	s.counts.Objective = prob.Objective(x)
 	if par.Net != nil {
 		s.counts.Rounds = par.Net.Rounds()
@@ -238,14 +268,20 @@ func (s *ipm) center(x, w []float64, t float64, c []float64) ([]float64, []float
 // Newton step on the weighted barrier plus one multiplicative weight update
 // toward the fresh approximate Lewis weights, steered through the
 // mixed-norm-ball projection.
+//
+// The returned x and w slices are the ipm's reusable scratch buffers (every
+// write is elementwise against the same index of the inputs, so aliasing
+// across successive calls is safe); Solve clones the final iterate before
+// handing it to the caller.
 func (s *ipm) centerDelta(x, w []float64, t float64, c []float64) ([]float64, []float64, float64, error) {
 	s.counts.Centerings++
 	m := s.m
-	phi1 := s.bar.D1(x)
-	phi2 := s.bar.D2(x)
+	phi1, phi2 := s.scr.phi1, s.scr.phi2
+	s.bar.D1To(phi1, x)
+	s.bar.D2To(phi2, x)
 
 	// q = (t·c + w·φ′(x)) / (w·√φ″(x)).
-	q := make([]float64, m)
+	q := s.scr.q
 	for i := 0; i < m; i++ {
 		q[i] = (t*c[i] + w[i]*phi1[i]) / (w[i] * math.Sqrt(phi2[i]))
 	}
@@ -256,7 +292,7 @@ func (s *ipm) centerDelta(x, w []float64, t float64, c []float64) ([]float64, []
 	delta := linalg.NormInf(pq) + s.cNorm*linalg.WeightedNorm(pq, w)
 
 	// Newton step dx = −Φ″^{-1/2}·P_{x,w} q, damped to stay interior.
-	dx := make([]float64, m)
+	dx := s.scr.dx
 	for i := 0; i < m; i++ {
 		dx[i] = -pq[i] / math.Sqrt(phi2[i])
 	}
@@ -264,7 +300,7 @@ func (s *ipm) centerDelta(x, w []float64, t float64, c []float64) ([]float64, []
 	if step > 1 {
 		step = 1
 	}
-	xNew := make([]float64, m)
+	xNew := s.scr.xNew
 	for i := range xNew {
 		xNew[i] = x[i] + 0.99*step*dx[i]
 	}
@@ -287,8 +323,9 @@ func (s *ipm) centerDelta(x, w []float64, t float64, c []float64) ([]float64, []
 	// Weight update (Algorithm 11 lines 4–6). We compute the fresh
 	// regularized Lewis weights at xNew and move log(w) toward them through
 	// the mixed-ball projection of the smoothed-potential gradient.
-	phi2New := s.bar.D2(xNew)
-	base := make([]float64, m)
+	phi2New := s.scr.phi2New
+	s.bar.D2To(phi2New, xNew)
+	base := s.scr.base
 	for i := range base {
 		base[i] = 1 / math.Sqrt(phi2New[i])
 	}
@@ -296,24 +333,25 @@ func (s *ipm) centerDelta(x, w []float64, t float64, c []float64) ([]float64, []
 	if err != nil {
 		return x, w, 0, err
 	}
-	z := make([]float64, m)
+	z := s.scr.z
 	for i := range z {
 		// Regularize as in the definition of g(x) (Definition 4.3); this
 		// also keeps the logs bounded.
 		z[i] = math.Log(apx[i] + s.c0)
 	}
-	dvec := make([]float64, m)
+	dvec := s.scr.dvec
 	for i := range dvec {
 		dvec[i] = z[i] - math.Log(math.Max(w[i], 1e-300))
 	}
-	grad := softmaxGradient(dvec)
-	l := make([]float64, m)
+	grad := s.scr.grad
+	softmaxGradientTo(grad, dvec)
+	l := s.scr.l
 	for i := range l {
 		l[i] = s.cNorm * math.Sqrt(math.Max(w[i], 1e-300))
 	}
 	proj := ProjectMixedBall(grad, l, s.par.Net)
 	scale := (1 - 6/(7*s.cK)) * math.Min(delta, 1)
-	wNew := make([]float64, m)
+	wNew := s.scr.wNew
 	for i := range wNew {
 		u := linalg.Clamp(scale*proj[i], -0.5, 0.5)
 		wNew[i] = w[i] * math.Exp(u)
@@ -324,47 +362,46 @@ func (s *ipm) centerDelta(x, w []float64, t float64, c []float64) ([]float64, []
 }
 
 // applyProjection computes P_{x,w}q = q − W⁻¹A_x(A_xᵀW⁻¹A_x)⁻¹A_xᵀq with
-// A_x = Φ″(x)^{−1/2}A, using one (AᵀDA)-solve with D = 1/(w·φ″).
+// A_x = Φ″(x)^{−1/2}A, using one (AᵀDA)-solve with D = 1/(w·φ″) through the
+// configured backend. The result lands in the reusable scr.pq buffer.
 func (s *ipm) applyProjection(q, w, phi2 []float64) ([]float64, error) {
 	m := s.m
 	// A_xᵀ q = Aᵀ(Φ″^{−1/2} q).
-	tmp := make([]float64, m)
+	tmp := s.scr.tmp
 	for i := 0; i < m; i++ {
 		tmp[i] = q[i] / math.Sqrt(phi2[i])
 	}
-	rhs := s.prob.A.MulVecT(tmp)
-	dvec := make([]float64, m)
+	s.prob.A.MulVecTTo(s.scr.rhs, tmp)
+	// Reuse tmp for the solve diagonal: rhs is already extracted.
 	for i := 0; i < m; i++ {
-		dvec[i] = 1 / (w[i] * phi2[i])
+		tmp[i] = 1 / (w[i] * phi2[i])
 	}
-	sol, err := s.sol(dvec, rhs)
+	sol, err := s.sol(tmp, s.scr.rhs)
 	if err != nil {
 		return nil, fmt.Errorf("lp: projection solve: %w", err)
 	}
-	asol := s.prob.A.MulVec(sol)
-	out := make([]float64, m)
+	s.prob.A.MulVecTo(s.scr.asol, sol)
+	out := s.scr.pq
 	for i := 0; i < m; i++ {
-		out[i] = q[i] - asol[i]/(w[i]*math.Sqrt(phi2[i]))
+		out[i] = q[i] - s.scr.asol[i]/(w[i]*math.Sqrt(phi2[i]))
 	}
 	return out, nil
 }
 
-// softmaxGradient returns the normalized gradient of the smoothing
-// potential Φ_μ(v) = Σ_i (e^{μv_i} + e^{−μv_i}) used by Algorithm 11. The
-// projection is invariant under positive scaling of its input, so the
-// gradient is normalized (and μ chosen to avoid overflow).
-func softmaxGradient(v []float64) []float64 {
+// softmaxGradientTo writes the normalized gradient of the smoothing
+// potential Φ_μ(v) = Σ_i (e^{μv_i} + e^{−μv_i}) used by Algorithm 11 into
+// out. The projection is invariant under positive scaling of its input, so
+// the gradient is normalized (and μ chosen to avoid overflow).
+func softmaxGradientTo(out, v []float64) {
 	maxAbs := linalg.NormInf(v)
 	mu := 1.0
 	if maxAbs > 0 {
 		mu = math.Min(8, 30/maxAbs)
 	}
-	out := make([]float64, len(v))
 	for i, d := range v {
 		out[i] = math.Exp(mu*d) - math.Exp(-mu*d)
 	}
 	if n := linalg.Norm2(out); n > 0 {
 		linalg.Scale(1/n, out)
 	}
-	return out
 }
