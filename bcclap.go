@@ -4,37 +4,77 @@
 // style linear program solver built on those primitives, and an exact
 // minimum-cost maximum-flow algorithm running in Õ(√n) simulated rounds.
 //
-// The package re-exports the pipeline end-to-end:
+// # Sessions
 //
-//	Sparsify        — (1±ε) spectral sparsifiers in Broadcast CONGEST (Thm 1.2)
-//	NewLaplacianSolver — high-precision Laplacian solving in the BCC (Thm 1.3)
-//	SolveLP         — LPs with Õ(√n·log(U/ε)) path steps (Thm 1.4)
-//	MinCostMaxFlow  — exact min-cost max-flow (Thm 1.1)
+// The package is organized around reusable, context-aware solver sessions:
+// construct a handle once, then answer many queries under explicit
+// resource control. Everything that is query-independent — the flow-LP
+// formulation and its CSR constraint structure, linear-solve backend
+// workspaces, the Laplacian sparsifier of Theorem 1.3 — is built by the
+// constructor and amortized across queries:
+//
+//	FlowSolver      — NewFlowSolver(d, opts...) then Solve(ctx, s, t) /
+//	                  SolveBatch(ctx, queries): exact min-cost max-flow
+//	                  (Thm 1.1) as a service; batch mode warm-starts
+//	                  repeated terminal pairs from the previous certified
+//	                  solution
+//	LPSolver        — NewLPSolver(prob, opts...) then Solve(ctx, x0, eps):
+//	                  LPs with Õ(√n·log(U/ε)) path steps (Thm 1.4)
+//	LaplacianSolver — NewLaplacianSession(g, opts...) then
+//	                  SolveCtx(ctx, b, eps): high-precision Laplacian
+//	                  solving after one-time sparsifier preprocessing
+//	                  (Thm 1.3)
+//	SparsifyGraph   — (1±ε) spectral sparsifiers in Broadcast CONGEST
+//	                  (Thm 1.2); one-shot by nature, same option set
+//
+// Sessions share one functional option vocabulary (WithBackend, WithSeed,
+// WithNetwork, WithTolerance, WithProgress, …), surface one Stats record
+// per solve (path steps, CG iterations, rounds, wall time, reuse flags),
+// and classify failures with sentinel errors usable with errors.Is:
+// ErrBadQuery, ErrBackendUnknown, ErrDisconnected, ErrInfeasible.
+//
+// Every Solve accepts a context.Context, threaded down through the flow
+// retry loop, the interior-point path following, and the CG/Chebyshev
+// inner loops (polled every few iterations, so the hot kernels stay
+// allocation-free): cancellation or deadline aborts within one outer
+// iteration with an error satisfying errors.Is(err, ctx.Err()).
+//
+// Sessions are deterministic — sequential Solve calls on one FlowSolver
+// produce bit-identical results to fresh one-shot calls with the same
+// seed — and single-goroutine: serve a sequential query stream per
+// session.
 //
 // Every entry point optionally runs against the round-accounting simulator
 // in internal/sim so that the paper's round-complexity claims can be
-// measured; see EXPERIMENTS.md for the measured-vs-claimed record.
+// measured; see EXPERIMENTS.md for the measured-vs-claimed record,
+// including the session amortization measurements.
 //
 // # Linear-solve backends
 //
 // The interior-point pipeline reduces to repeated solves (AᵀDA)x = y. The
-// strategy is pluggable through a backend registry shared by SolveLP
-// (LPProblem.Backend) and MinCostMaxFlow (FlowOptions.Backend):
+// strategy is pluggable through a backend registry shared by flow and LP
+// sessions (WithBackend):
 //
 //	dense   — assemble AᵀDA and factorize it; exact reference, O(n³)/solve
 //	gremban — Gremban reduction to a Laplacian + preconditioned CG (Lemma 5.1)
 //	csr-cg  — matrix-free CG applying A, D, Aᵀ as composed operators;
 //	          never materializes AᵀDA and scales to large instances
 //
-//	res, err := bcclap.MinCostMaxFlow(d, s, t, bcclap.FlowOptions{Backend: "csr-cg"})
+//	solver, err := bcclap.NewFlowSolver(d, bcclap.WithBackend("csr-cg"))
+//	res, err := solver.Solve(ctx, s, t)
 //
-// FlowBackends lists the registered names; EXPERIMENTS.md records the
-// backend comparison measurements. All matrix-vector products ride on a
-// row-sharded parallel sparse kernel whose output is bit-for-bit identical
-// to the serial product.
+// FlowBackends lists the registered names; unknown names fail at session
+// construction with ErrBackendUnknown. All matrix-vector products ride on
+// a row-sharded parallel sparse kernel whose output is bit-for-bit
+// identical to the serial product.
+//
+// The pre-session entry points (Sparsify, SolveLP, MinCostMaxFlow) remain
+// as thin deprecated wrappers over sessions, so existing callers keep
+// working unchanged.
 package bcclap
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -95,6 +135,9 @@ func PracticalSparsifyParams(n, m int, eps float64) SparsifyParams {
 }
 
 // SparsifyOptions configures Sparsify.
+//
+// Deprecated: use SparsifyGraph with functional options (WithSeed,
+// WithNetwork, WithSparsifyParams).
 type SparsifyOptions struct {
 	// Params overrides the sparsifier parameters (zero selects
 	// PracticalParams; use sparsify.PaperParams for the proof constants).
@@ -117,27 +160,39 @@ type SparsifyResult struct {
 	Rounds int
 }
 
-// Sparsify computes a spectral sparsifier of g with the paper's ad-hoc
-// sampling algorithm (Algorithm 5 / Theorem 1.2).
-func Sparsify(g *Graph, eps float64, opts SparsifyOptions) (*SparsifyResult, error) {
+// SparsifyGraph computes a spectral sparsifier of g with the paper's
+// ad-hoc sampling algorithm (Algorithm 5 / Theorem 1.2). It accepts the
+// session option set: WithSeed, WithNetwork and WithSparsifyParams apply.
+func SparsifyGraph(g *Graph, eps float64, opts ...Option) (*SparsifyResult, error) {
+	cfg := applyOptions(opts)
 	if g.N() == 0 {
 		return nil, fmt.Errorf("bcclap: empty graph")
 	}
 	if eps <= 0 {
 		return nil, fmt.Errorf("bcclap: eps must be positive, got %g", eps)
 	}
-	par := opts.Params
+	par := cfg.sparsifyParams
 	if par.K == 0 {
 		par = sparsify.PracticalParams(g.N(), g.M(), eps)
 	}
-	rnd := rand.New(rand.NewSource(opts.Seed + 1))
-	res := sparsify.Adhoc(g, par, rnd, opts.Net)
+	res := sparsify.Adhoc(g, par, seededRand(cfg.seed+1), cfg.net)
 	return &SparsifyResult{
 		H:            res.H,
 		KeptEdges:    res.KeptEdges,
 		MaxOutDegree: res.MaxOutDegree(),
 		Rounds:       res.Rounds,
 	}, nil
+}
+
+// Sparsify computes a spectral sparsifier of g.
+//
+// Deprecated: use SparsifyGraph, which takes the shared functional option
+// set. Sparsify remains a thin wrapper and behaves identically.
+func Sparsify(g *Graph, eps float64, opts SparsifyOptions) (*SparsifyResult, error) {
+	return SparsifyGraph(g, eps,
+		WithSeed(opts.Seed),
+		WithNetwork(opts.Net),
+		WithSparsifyParams(opts.Params))
 }
 
 // SparsifierQuality estimates the spectral band (lo, hi) with
@@ -147,24 +202,24 @@ func SparsifierQuality(g, h *Graph, seed int64) (lo, hi float64) {
 }
 
 // LaplacianSolver answers systems L_G x = b after a one-time sparsifier
-// preprocessing (Theorem 1.3).
+// preprocessing (Theorem 1.3). Construct with NewLaplacianSession (or the
+// deprecated NewLaplacianSolver) and query with SolveCtx.
 type LaplacianSolver struct {
 	inner *lapsolver.Solver
 }
 
 // LaplacianSolveStats mirrors the per-instance costs of Theorem 1.3.
+//
+// Deprecated: SolveCtx reports the unified Stats instead.
 type LaplacianSolveStats = lapsolver.Stats
 
 // NewLaplacianSolver preprocesses g (connected) for repeated solving.
+//
+// Deprecated: use NewLaplacianSession(g, WithSeed(seed), WithNetwork(net)),
+// which additionally accepts WithSparsifyParams. This wrapper behaves
+// identically.
 func NewLaplacianSolver(g *Graph, seed int64, net *Network) (*LaplacianSolver, error) {
-	s, err := lapsolver.New(g, lapsolver.Config{
-		Rand: rand.New(rand.NewSource(seed + 3)),
-		Net:  net,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &LaplacianSolver{inner: s}, nil
+	return NewLaplacianSession(g, WithSeed(seed), WithNetwork(net))
 }
 
 // PreprocessRounds returns the rounds consumed by preprocessing.
@@ -174,6 +229,9 @@ func (s *LaplacianSolver) PreprocessRounds() int { return s.inner.PreprocessRoun
 func (s *LaplacianSolver) Sparsifier() *Graph { return s.inner.Sparsifier() }
 
 // Solve returns y with ‖x − y‖_{L_G} ≤ ε‖x‖_{L_G} for L_G x = b.
+//
+// Deprecated: use SolveCtx, which is cancelable and reports the unified
+// Stats.
 func (s *LaplacianSolver) Solve(b []float64, eps float64) ([]float64, LaplacianSolveStats, error) {
 	return s.inner.Solve(b, eps)
 }
@@ -189,11 +247,18 @@ type LPSolution = lp.Solution
 
 // SolveLP runs the Lee–Sidford-style solver of Theorem 1.4 from the given
 // strictly feasible x0.
+//
+// Deprecated: use NewLPSolver(prob, ...).Solve(ctx, x0, eps), which is
+// cancelable, amortizes the backend across repeated solves and reports the
+// unified Stats. This wrapper remains a one-shot session.
 func SolveLP(prob *LPProblem, x0 []float64, eps float64, par LPParams) (*LPSolution, error) {
 	return lp.Solve(prob, x0, eps, par)
 }
 
 // FlowOptions configures MinCostMaxFlow.
+//
+// Deprecated: use NewFlowSolver with functional options (WithBackend,
+// WithSeed, WithNetwork).
 type FlowOptions struct {
 	// Backend selects the AᵀDA linear-solve strategy by registry name:
 	// "dense" (assemble + factorize, the reference), "gremban" (Lemma 5.1's
@@ -214,8 +279,18 @@ type FlowOptions struct {
 	Net *Network
 }
 
+// options folds the deprecated UseGremban knob into the session option
+// set — the single place the legacy FlowOptions surface is translated.
+func (o FlowOptions) options() []Option {
+	backend := o.Backend
+	if backend == "" && o.UseGremban {
+		backend = "gremban"
+	}
+	return []Option{WithBackend(backend), WithSeed(o.Seed), WithNetwork(o.Net)}
+}
+
 // FlowBackends returns the names of all registered AᵀDA solve backends
-// accepted by FlowOptions.Backend.
+// accepted by WithBackend and FlowOptions.Backend.
 func FlowBackends() []string { return lp.Backends() }
 
 // FlowResult is an exact minimum-cost maximum flow.
@@ -227,33 +302,25 @@ type FlowResult struct {
 	// PathSteps is the interior-point iteration count (the Õ(√n) of
 	// Theorem 1.1).
 	PathSteps int
-	// Rounds is the simulated round cost (0 without Net).
+	// Rounds is the simulated round cost of this solve (0 without Net).
 	Rounds int
+	// Stats is the unified per-solve observability record.
+	Stats Stats
 }
 
 // MinCostMaxFlow computes an exact minimum-cost maximum s-t flow with the
 // paper's LP pipeline (Theorem 1.1). The result is certified internally
 // (feasibility, maximality, cost optimality) before being returned.
+//
+// Deprecated: use NewFlowSolver(d, ...).Solve(ctx, s, t), which amortizes
+// the LP formulation across queries, is cancelable and supports batches.
+// This wrapper builds a single-use session and produces identical results.
 func MinCostMaxFlow(d *Digraph, s, t int, opts FlowOptions) (*FlowResult, error) {
-	backend := opts.Backend
-	if backend == "" && opts.UseGremban {
-		backend = "gremban"
-	}
-	res, err := flow.MinCostMaxFlow(d, s, t, flow.Options{
-		Backend: backend,
-		Rand:    rand.New(rand.NewSource(opts.Seed + 11)),
-		Net:     opts.Net,
-	})
+	fs, err := NewFlowSolver(d, opts.options()...)
 	if err != nil {
 		return nil, err
 	}
-	return &FlowResult{
-		Value:     res.Value,
-		Cost:      res.Cost,
-		Flows:     res.Flows,
-		PathSteps: res.LPStats.PathSteps,
-		Rounds:    res.Rounds,
-	}, nil
+	return fs.Solve(context.Background(), s, t)
 }
 
 // MinCostMaxFlowBaseline runs the combinatorial successive-shortest-paths

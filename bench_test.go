@@ -7,6 +7,7 @@ package bcclap
 // and prints the comparison tables recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"math/rand"
@@ -265,7 +266,7 @@ func BenchmarkE10Gremban(b *testing.B) {
 	}
 	b.Run("gremban-cg", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := lapsolver.SDDSolve(m, y, lapsolver.CGLapSolve); err != nil {
+			if _, _, err := lapsolver.SDDSolve(context.Background(), m, y, lapsolver.CGLapSolve); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -390,7 +391,7 @@ func BenchmarkE15BackendSolve(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := solve(dvec, y); err != nil {
+				if _, _, err := solve(context.Background(), dvec, y); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -417,6 +418,26 @@ func BenchmarkE16SpMV(b *testing.B) {
 	})
 }
 
+// benchMedian times f over five repetitions and returns the median — the
+// shared timing methodology of both committed snapshots.
+func benchMedian(f func()) time.Duration {
+	const reps = 5
+	times := make([]time.Duration, reps)
+	for i := range times {
+		start := time.Now()
+		f()
+		times[i] = time.Since(start)
+	}
+	for i := range times {
+		for j := i + 1; j < reps; j++ {
+			if times[j] < times[i] {
+				times[i], times[j] = times[j], times[i]
+			}
+		}
+	}
+	return times[reps/2]
+}
+
 // TestBenchBackendsSnapshot regenerates BENCH_backends.json, the committed
 // snapshot of the backend and SpMV comparison (set BENCH_SNAPSHOT=1 to
 // refresh; skipped otherwise so regular test runs stay fast).
@@ -426,32 +447,15 @@ func TestBenchBackendsSnapshot(t *testing.T) {
 	}
 	n := 384
 	a, dvec, y := benchATDAInstance(t, n)
-	median := func(f func()) time.Duration {
-		const reps = 5
-		times := make([]time.Duration, reps)
-		for i := range times {
-			start := time.Now()
-			f()
-			times[i] = time.Since(start)
-		}
-		for i := range times {
-			for j := i + 1; j < reps; j++ {
-				if times[j] < times[i] {
-					times[i], times[j] = times[j], times[i]
-				}
-			}
-		}
-		return times[reps/2]
-	}
 	solveNS := map[string]int64{}
 	for _, name := range lp.Backends() {
 		solve, err := lp.NewBackendSolver(name, a)
 		if err != nil {
 			t.Fatal(err)
 		}
-		solve(dvec, y) // warm up factory state
-		solveNS[name] = median(func() {
-			if _, err := solve(dvec, y); err != nil {
+		solve(context.Background(), dvec, y) // warm up factory state
+		solveNS[name] = benchMedian(func() {
+			if _, _, err := solve(context.Background(), dvec, y); err != nil {
 				t.Fatal(err)
 			}
 		}).Nanoseconds()
@@ -464,12 +468,12 @@ func TestBenchBackendsSnapshot(t *testing.T) {
 	nn := m.Rows()
 	dst := make([]float64, nn)
 	const spmvReps = 50
-	serialNS := median(func() {
+	serialNS := benchMedian(func() {
 		for i := 0; i < spmvReps; i++ {
 			m.MulVecToShards(dst, x, 1)
 		}
 	}).Nanoseconds() / spmvReps
-	parallelNS := median(func() {
+	parallelNS := benchMedian(func() {
 		for i := 0; i < spmvReps; i++ {
 			m.MulVecToShards(dst, x, runtime.NumCPU())
 		}
@@ -507,4 +511,139 @@ func BenchmarkE12Orientation(b *testing.B) {
 	}
 	b.ReportMetric(outdeg/float64(b.N), "max_out_degree")
 	b.ReportMetric(edges/float64(b.N), "edges_naive_rounds")
+}
+
+// benchSessionInstance is the fixed flow instance shared by the session
+// benchmarks and the BENCH_session.json snapshot.
+func benchSessionInstance() (*graph.Digraph, int, int) {
+	rnd := rand.New(rand.NewSource(18))
+	d := graph.RandomFlowNetwork(6, 0.3, 3, 3, rnd)
+	return d, 0, d.N() - 1
+}
+
+// E17 — session API: one-shot MinCostMaxFlow vs a FlowSolver serving the
+// same query repeatedly. The session amortizes the LP formulation and
+// backend workspaces; warm-started batch queries additionally skip path
+// following (the acceptance lever for BENCH_session.json).
+func BenchmarkFlowSolverReuse(b *testing.B) {
+	d, s, t := benchSessionInstance()
+	ctx := context.Background()
+	b.Run("one-shot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := MinCostMaxFlow(d, s, t, FlowOptions{Seed: 7}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("session-cold", func(b *testing.B) {
+		fs, err := NewFlowSolver(d, WithSeed(7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fs.Solve(ctx, s, t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("session-batch-warm", func(b *testing.B) {
+		fs, err := NewFlowSolver(d, WithSeed(7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Prime the warm state; every timed query then re-centers it.
+		if _, err := fs.SolveBatch(ctx, []FlowQuery{{S: s, T: t}}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := fs.SolveBatch(ctx, []FlowQuery{{S: s, T: t}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res[0].Stats.WarmStarted {
+				b.Fatal("batch query did not warm-start")
+			}
+		}
+	})
+}
+
+// TestBenchSessionSnapshot regenerates BENCH_session.json, the committed
+// snapshot comparing one-shot MinCostMaxFlow against session batch solves
+// per backend (set BENCH_SNAPSHOT=1 to refresh; skipped otherwise). The
+// acceptance gate lives here: batch per-query time must come in below
+// one-shot on every backend, with identical certified (value, cost).
+func TestBenchSessionSnapshot(t *testing.T) {
+	if os.Getenv("BENCH_SNAPSHOT") == "" {
+		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_session.json")
+	}
+	d, s, tt := benchSessionInstance()
+	ctx := context.Background()
+	wantV, wantC, _, err := MinCostMaxFlowBaseline(d, s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batchLen = 6
+	backends := map[string]any{}
+	for _, backend := range FlowBackends() {
+		oneShotNS := benchMedian(func() {
+			res, err := MinCostMaxFlow(d, s, tt, FlowOptions{Seed: 7, Backend: backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Value != wantV || res.Cost != wantC {
+				t.Fatalf("%s one-shot: (%d, %d) vs baseline (%d, %d)", backend, res.Value, res.Cost, wantV, wantC)
+			}
+		}).Nanoseconds()
+		fs, err := NewFlowSolver(d, WithSeed(7), WithBackend(backend))
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := make([]FlowQuery, batchLen)
+		for i := range queries {
+			queries[i] = FlowQuery{S: s, T: tt}
+		}
+		var warm int
+		batchPerQueryNS := benchMedian(func() {
+			results, err := fs.SolveBatch(ctx, queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm = 0
+			for i, r := range results {
+				if r.Value != wantV || r.Cost != wantC {
+					t.Fatalf("%s batch query %d: (%d, %d) vs baseline (%d, %d)", backend, i, r.Value, r.Cost, wantV, wantC)
+				}
+				if r.Stats.WarmStarted {
+					warm++
+				}
+			}
+		}).Nanoseconds() / batchLen
+		if batchPerQueryNS >= oneShotNS {
+			t.Errorf("%s: batch per-query %d ns does not beat one-shot %d ns", backend, batchPerQueryNS, oneShotNS)
+		}
+		backends[backend] = map[string]any{
+			"one_shot_ns":           oneShotNS,
+			"batch_per_query_ns":    batchPerQueryNS,
+			"batch_len":             batchLen,
+			"warm_started_in_batch": warm,
+			"speedup":               float64(oneShotNS) / float64(max(batchPerQueryNS, 1)),
+		}
+	}
+	snap := map[string]any{
+		"generated_by": "BENCH_SNAPSHOT=1 go test -run TestBenchSessionSnapshot .",
+		"instance": map[string]any{
+			"graph_n": d.N(), "graph_m": d.M(), "s": s, "t": tt,
+			"value": wantV, "cost": wantC,
+		},
+		"backends": backends,
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_session.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -36,26 +38,37 @@ import (
 var flowBackend string
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e12, e15 or all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e12, e15, e17 or all)")
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	backend := flag.String("backend", "", "AᵀDA solve backend for the flow experiments: "+strings.Join(lp.Backends(), ", ")+" (default dense)")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (e.g. 10m; 0 = no limit)")
 	flag.Parse()
 	flowBackend = *backend
-	if err := run(*exp, *quick); err != nil {
-		fmt.Fprintln(os.Stderr, "bcclap-experiments:", err)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *exp, *quick); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "bcclap-experiments: exceeded -timeout %v: %v\n", *timeout, err)
+		} else {
+			fmt.Fprintln(os.Stderr, "bcclap-experiments:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(exp string, quick bool) error {
-	all := map[string]func(bool) error{
+func run(ctx context.Context, exp string, quick bool) error {
+	all := map[string]func(context.Context, bool) error{
 		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6,
 		"e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11, "e12": e12,
-		"e15": e15,
+		"e15": e15, "e17": e17,
 	}
 	if exp == "all" {
-		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e15"} {
-			if err := all[id](quick); err != nil {
+		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e15", "e17"} {
+			if err := all[id](ctx, quick); err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}
 		}
@@ -65,7 +78,7 @@ func run(exp string, quick bool) error {
 	if !ok {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
-	return f(quick)
+	return f(ctx, quick)
 }
 
 func header(id, claim string) {
@@ -85,7 +98,7 @@ func bcNet(g *graph.Graph) *sim.Network {
 }
 
 // e1: spanner stretch + size vs Lemma 3.1.
-func e1(quick bool) error {
+func e1(ctx context.Context, quick bool) error {
 	header("e1", "Lemma 3.1: stretch ≤ 2k−1, |F⁺| = O(k·n^{1+1/k})")
 	ns := []int{16, 32, 48}
 	if quick {
@@ -118,7 +131,7 @@ func e1(quick bool) error {
 }
 
 // e2: spanner rounds vs Lemma 3.2.
-func e2(quick bool) error {
+func e2(ctx context.Context, quick bool) error {
 	header("e2", "Lemma 3.2: rounds O(k·n^{1/k}(log n + log W))")
 	ns := []int{16, 32, 64}
 	if quick {
@@ -142,7 +155,7 @@ func e2(quick bool) error {
 }
 
 // e3: sparsifier quality/size/rounds vs Theorem 1.2.
-func e3(quick bool) error {
+func e3(ctx context.Context, quick bool) error {
 	header("e3", "Theorem 1.2: (1±ε) quality band, size, BC rounds")
 	ns := []int{24, 32, 48}
 	if quick {
@@ -166,7 +179,7 @@ func e3(quick bool) error {
 }
 
 // e4: Lemma 3.3 distributional equality.
-func e4(quick bool) error {
+func e4(ctx context.Context, quick bool) error {
 	header("e4", "Lemma 3.3: ad-hoc ≡ a-priori output distribution")
 	trials := 400
 	if quick {
@@ -193,7 +206,7 @@ func e4(quick bool) error {
 }
 
 // e5: Laplacian solver iterations/rounds vs Theorem 1.3.
-func e5(quick bool) error {
+func e5(ctx context.Context, quick bool) error {
 	header("e5", "Theorem 1.3: O(log 1/ε) iterations; per-instance ≪ preprocessing rounds")
 	g := graph.Grid(6, 6)
 	net, err := sim.NewNetwork(sim.Config{N: g.N(), Mode: sim.ModeBCC})
@@ -223,7 +236,7 @@ func e5(quick bool) error {
 		epss = []float64{1e-2, 1e-6}
 	}
 	for _, eps := range epss {
-		y, st, err := s.Solve(b, eps)
+		y, st, err := s.SolveCtx(ctx, b, eps)
 		if err != nil {
 			return err
 		}
@@ -234,7 +247,7 @@ func e5(quick bool) error {
 }
 
 // e6: leverage scores, JL vs exact.
-func e6(quick bool) error {
+func e6(ctx context.Context, quick bool) error {
 	header("e6", "Lemma 4.5: Kane–Nelson leverage scores within (1±η)")
 	rnd := rand.New(rand.NewSource(3))
 	m, n := 60, 6
@@ -284,7 +297,7 @@ func e6(quick bool) error {
 }
 
 // e7: mixed-ball projection correctness + round scaling.
-func e7(quick bool) error {
+func e7(ctx context.Context, quick bool) error {
 	header("e7", "Lemma 4.10: projection rounds grow polylog in m")
 	ms := []int{64, 256, 1024}
 	if quick {
@@ -311,7 +324,7 @@ func e7(quick bool) error {
 }
 
 // e8: LP path steps ∝ √n.
-func e8(quick bool) error {
+func e8(ctx context.Context, quick bool) error {
 	header("e8", "Theorem 1.4: path steps = Õ(√n·log(U/ε))")
 	ns := []int{1, 4, 9, 16}
 	if quick {
@@ -347,7 +360,7 @@ func e8(quick bool) error {
 }
 
 // e9: exact min-cost max-flow, LP pipeline vs SSP.
-func e9(quick bool) error {
+func e9(ctx context.Context, quick bool) error {
 	header("e9", "Theorem 1.1: exact MCMF via the LP pipeline (vs SSP baseline)")
 	trials := 6
 	if quick {
@@ -362,7 +375,7 @@ func e9(quick bool) error {
 		if err != nil {
 			return err
 		}
-		res, err := flow.MinCostMaxFlow(d, 0, d.N()-1, flow.Options{
+		res, err := flow.MinCostMaxFlowCtx(ctx, d, 0, d.N()-1, flow.Options{
 			Backend: flowBackend,
 			Rand:    rand.New(rand.NewSource(int64(trial + 100))),
 		})
@@ -380,7 +393,7 @@ func e9(quick bool) error {
 }
 
 // e10: Gremban reduction accuracy.
-func e10(quick bool) error {
+func e10(ctx context.Context, quick bool) error {
 	header("e10", "Lemma 5.1: SDD solving through the 2n-vertex Laplacian reduction")
 	ns := []int{8, 16, 32}
 	if quick {
@@ -403,7 +416,7 @@ func e10(quick bool) error {
 		if err != nil {
 			return err
 		}
-		got, err := lapsolver.SDDSolve(m, y, lapsolver.CGLapSolve)
+		got, _, err := lapsolver.SDDSolve(context.Background(), m, y, lapsolver.CGLapSolve)
 		if err != nil {
 			return err
 		}
@@ -414,7 +427,7 @@ func e10(quick bool) error {
 }
 
 // e11: bundle size ablation.
-func e11(quick bool) error {
+func e11(ctx context.Context, quick bool) error {
 	header("e11", "Ablation: bundle size t vs sparsifier size and quality")
 	rnd := rand.New(rand.NewSource(11))
 	n := 40
@@ -435,7 +448,7 @@ func e11(quick bool) error {
 
 // e15: AᵀDA backend comparison — identical certified flows, wall-clock per
 // backend (the table EXPERIMENTS.md records for the LinOp refactor).
-func e15(quick bool) error {
+func e15(ctx context.Context, quick bool) error {
 	header("e15", "Backend registry: identical certified (value, cost), per-backend wall-clock")
 	ns := []int{6, 10, 14}
 	if quick {
@@ -452,7 +465,7 @@ func e15(quick bool) error {
 		}
 		for _, backend := range lp.Backends() {
 			start := time.Now()
-			res, err := flow.MinCostMaxFlow(d, 0, d.N()-1, flow.Options{
+			res, err := flow.MinCostMaxFlowCtx(ctx, d, 0, d.N()-1, flow.Options{
 				Backend: backend,
 				Rand:    rand.New(rand.NewSource(int64(n * 100))),
 			})
@@ -471,7 +484,7 @@ func e15(quick bool) error {
 }
 
 // e12: orientation out-degree vs naive globalization.
-func e12(quick bool) error {
+func e12(ctx context.Context, quick bool) error {
 	header("e12", "Theorem 1.2's orientation: globalization rounds = max out-degree")
 	ns := []int{24, 40}
 	if quick {
@@ -484,6 +497,65 @@ func e12(quick bool) error {
 		par := sparsify.Params{K: 4, T: 2, Iterations: 6}
 		res := sparsify.Adhoc(g, par, rand.New(rand.NewSource(int64(n))), nil)
 		fmt.Printf("| %d | %d | %d |\n", n, res.H.M(), res.MaxOutDegree())
+	}
+	return nil
+}
+
+// e17: session amortization — one-shot MinCostMaxFlow vs FlowSolver batch
+// with warm starts, per backend (the "Sessions & reuse" table of
+// EXPERIMENTS.md; BENCH_session.json snapshots the same comparison).
+func e17(ctx context.Context, quick bool) error {
+	header("e17", "Session API: batch per-query time vs one-shot, identical certified results")
+	batchLen := 6
+	if quick {
+		batchLen = 4
+	}
+	rnd := rand.New(rand.NewSource(18))
+	d := graph.RandomFlowNetwork(6, 0.3, 3, 3, rnd)
+	s, t := 0, d.N()-1
+	wantV, wantC, _, err := flow.MinCostMaxFlowSSP(d, s, t)
+	if err != nil {
+		return err
+	}
+	fmt.Println("| backend | one-shot | batch/query | speedup | warm | = baseline |")
+	fmt.Println("|---|---|---|---|---|---|")
+	for _, backend := range lp.Backends() {
+		start := time.Now()
+		one, err := flow.MinCostMaxFlowCtx(ctx, d, s, t, flow.Options{Backend: backend, Seed: flow.SeedOf(18)})
+		if err != nil {
+			return fmt.Errorf("backend %s: %w", backend, err)
+		}
+		oneShot := time.Since(start)
+		fs, err := flow.NewSolver(d, flow.Options{Backend: backend, Seed: flow.SeedOf(18)})
+		if err != nil {
+			return err
+		}
+		queries := make([]flow.Query, batchLen)
+		for i := range queries {
+			queries[i] = flow.Query{S: s, T: t}
+		}
+		start = time.Now()
+		results, err := fs.SolveBatch(ctx, queries)
+		if err != nil {
+			return fmt.Errorf("backend %s batch: %w", backend, err)
+		}
+		perQuery := time.Since(start) / time.Duration(batchLen)
+		warm := 0
+		match := "yes"
+		for _, r := range results {
+			if r.WarmStarted {
+				warm++
+			}
+			if r.Value != wantV || r.Cost != wantC {
+				match = "NO"
+			}
+		}
+		if one.Value != wantV || one.Cost != wantC {
+			match = "NO"
+		}
+		fmt.Printf("| %s | %v | %v | %.0fx | %d/%d | %s |\n",
+			backend, oneShot.Round(time.Millisecond), perQuery.Round(time.Microsecond),
+			float64(oneShot)/float64(max(perQuery, 1)), warm, batchLen, match)
 	}
 	return nil
 }

@@ -12,11 +12,14 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"bcclap"
 	"bcclap/internal/graph"
@@ -27,17 +30,28 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	backend := flag.String("backend", "", "AᵀDA solve backend: "+strings.Join(bcclap.FlowBackends(), ", ")+" (default dense)")
 	gremban := flag.Bool("gremban", false, "deprecated: same as -backend gremban")
+	timeout := flag.Duration("timeout", 0, "abort the solve after this duration (e.g. 30s; 0 = no limit)")
 	flag.Parse()
 	if *backend == "" && *gremban {
 		*backend = "gremban"
 	}
-	if err := run(*randomN, *seed, *backend); err != nil {
-		fmt.Fprintln(os.Stderr, "bcclap-flow:", err)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *randomN, *seed, *backend); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "bcclap-flow: solve exceeded -timeout %v: %v\n", *timeout, err)
+		} else {
+			fmt.Fprintln(os.Stderr, "bcclap-flow:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(randomN int, seed int64, backend string) error {
+func run(ctx context.Context, randomN int, seed int64, backend string) error {
 	var d *graph.Digraph
 	var s, t int
 	if randomN > 0 {
@@ -52,13 +66,18 @@ func run(randomN int, seed int64, backend string) error {
 			return err
 		}
 	}
-	res, err := bcclap.MinCostMaxFlow(d, s, t, bcclap.FlowOptions{Seed: seed, Backend: backend})
+	solver, err := bcclap.NewFlowSolver(d, bcclap.WithSeed(seed), bcclap.WithBackend(backend))
+	if err != nil {
+		return err
+	}
+	res, err := solver.Solve(ctx, s, t)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("max flow value: %d\n", res.Value)
 	fmt.Printf("min cost:       %d\n", res.Cost)
 	fmt.Printf("LP path steps:  %d\n", res.PathSteps)
+	fmt.Printf("wall time:      %v\n", res.Stats.WallTime.Round(time.Millisecond))
 	wantV, wantC, _, err := bcclap.MinCostMaxFlowBaseline(d, s, t)
 	if err != nil {
 		return err

@@ -1,0 +1,32 @@
+package bcclap
+
+import (
+	"bcclap/internal/flow"
+	"bcclap/internal/lapsolver"
+	"bcclap/internal/lp"
+)
+
+// Sentinel errors of the session API. Every error returned by a session
+// wraps one of these when the named condition applies, so callers branch
+// with errors.Is regardless of which internal layer raised it (the
+// variables alias the internal sentinels — an error produced four layers
+// down still matches).
+var (
+	// ErrBadQuery marks a malformed flow query: terminals out of range,
+	// s == t, or an empty digraph. Raised at the API boundary, before any
+	// LP formulation work starts.
+	ErrBadQuery = flow.ErrBadQuery
+
+	// ErrBackendUnknown marks a backend name that does not resolve in the
+	// registry; the error text lists FlowBackends(). Raised by the session
+	// constructors, never mid-solve.
+	ErrBackendUnknown = lp.ErrBackendUnknown
+
+	// ErrDisconnected marks a disconnected input graph, for which a single
+	// Laplacian solve is ill-posed.
+	ErrDisconnected = lapsolver.ErrDisconnected
+
+	// ErrInfeasible marks a starting point that is not strictly feasible
+	// for the LP (outside the box interior or violating Aᵀx = b).
+	ErrInfeasible = lp.ErrInfeasible
+)

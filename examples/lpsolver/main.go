@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,12 +36,16 @@ func main() {
 	}
 	x0 := linalg.Constant(m, 1.0/3) // uniform split: strictly feasible
 
-	sol, err := bcclap.SolveLP(prob, x0, 0.05, bcclap.LPParams{Seed: 2})
+	solver, err := bcclap.NewLPSolver(prob, bcclap.WithSeed(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("objective %.3f (OPT = %d) after %d path steps / %d centerings\n",
-		sol.Objective, projects, sol.PathSteps, sol.Centerings)
+	sol, stats, err := solver.Solve(context.Background(), x0, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("objective %.3f (OPT = %d) after %d path steps / %d centerings (%d CG iterations)\n",
+		sol.Objective, projects, stats.PathSteps, stats.Centerings, stats.CGIterations)
 	for p := 0; p < projects; p++ {
 		fmt.Printf("project %d allocation: %.3f %.3f %.3f\n",
 			p, sol.X[3*p], sol.X[3*p+1], sol.X[3*p+2])

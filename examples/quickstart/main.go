@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -33,14 +34,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sp, err := bcclap.Sparsify(g, 0.5, bcclap.SparsifyOptions{
-		Seed: 7,
-		Net:  net,
+	sp, err := bcclap.SparsifyGraph(g, 0.5,
+		bcclap.WithSeed(7),
+		bcclap.WithNetwork(net),
 		// A lean bundle: at n = 32 the default practical bundle already
 		// covers the whole graph (which is a valid, if pointless,
 		// sparsifier).
-		Params: bcclap.SparsifyParams{K: 4, T: 2, Iterations: 6},
-	})
+		bcclap.WithSparsifyParams(bcclap.SparsifyParams{K: 4, T: 2, Iterations: 6}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,17 +54,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	solver, err := bcclap.NewLaplacianSolver(g, 7, bccNet)
+	solver, err := bcclap.NewLaplacianSession(g, bcclap.WithSeed(7), bcclap.WithNetwork(bccNet))
 	if err != nil {
 		log.Fatal(err)
 	}
 	b := make([]float64, g.N())
 	b[0], b[g.N()-1] = 1, -1 // unit demand pair: x is an electrical potential
-	x, st, err := solver.Solve(b, 1e-6)
+	x, st, err := solver.SolveCtx(context.Background(), b, 1e-6)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("laplacian solve: %d Chebyshev iterations, %d rounds (preprocessing %d)\n",
-		st.Iterations, st.Rounds, solver.PreprocessRounds())
+		st.CGIterations, st.Rounds, solver.PreprocessRounds())
 	fmt.Printf("effective resistance(0, %d) ≈ %.4f\n", g.N()-1, x[0]-x[g.N()-1])
 }

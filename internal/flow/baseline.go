@@ -13,6 +13,7 @@ package flow
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 
@@ -244,9 +245,29 @@ func MinCostMaxFlowSSP(d *graph.Digraph, s, t int) (value, cost int64, flows []i
 	return value, cost, flows, nil
 }
 
+// ErrBadQuery is returned (wrapped, with detail) when a flow query is
+// malformed: terminals out of range, s == t, or — for the LP pipeline —
+// an empty digraph. It is raised at the API boundary, before any LP
+// formulation work starts, and is detected with errors.Is.
+var ErrBadQuery = errors.New("flow: bad query")
+
 func checkST(d *graph.Digraph, s, t int) error {
 	if s < 0 || s >= d.N() || t < 0 || t >= d.N() || s == t {
-		return fmt.Errorf("flow: bad terminals s=%d t=%d for %d vertices", s, t, d.N())
+		return fmt.Errorf("%w: terminals s=%d t=%d for %d vertices", ErrBadQuery, s, t, d.N())
+	}
+	return nil
+}
+
+// checkNonEmpty guards the LP pipeline, which cannot formulate an LP over
+// zero arcs. The combinatorial baselines accept arcless digraphs (their
+// maximum flow is trivially zero), so this check is not part of checkST.
+func checkNonEmpty(d *graph.Digraph) error {
+	if d == nil || d.N() == 0 || d.M() == 0 {
+		n, m := 0, 0
+		if d != nil {
+			n, m = d.N(), d.M()
+		}
+		return fmt.Errorf("%w: empty digraph (%d vertices, %d arcs)", ErrBadQuery, n, m)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -67,35 +68,30 @@ func vertexIndex(n, s int) (idx []int) {
 // λ > flowBonus's worth of slack), which preserves the argument: slack is
 // never worth buying, and flow units always are.
 func NewLPForm(d *graph.Digraph, s, t int, rnd *rand.Rand) (*LPForm, error) {
+	form, err := NewLPFormStructure(d, s, t)
+	if err != nil {
+		return nil, err
+	}
+	form.Perturb(rnd)
+	return form, nil
+}
+
+// NewLPFormStructure builds everything about the LP that does not depend
+// on the cost perturbation: the constraint matrix, box bounds and interior
+// starting point are functions of (d, s, t) only. A session caches this
+// structure per terminal pair and calls Perturb once per solve attempt, so
+// repeated queries skip the O(m) formulation rebuild (and the backend
+// bound to the matrix stays valid across attempts).
+func NewLPFormStructure(d *graph.Digraph, s, t int) (*LPForm, error) {
+	if err := checkNonEmpty(d); err != nil {
+		return nil, err
+	}
 	if err := checkST(d, s, t); err != nil {
 		return nil, err
 	}
 	n, m := d.N(), d.M()
 	nPrime := n - 1
-	bigM := d.MaxCap()
-	if c := d.MaxAbsCost(); c > bigM {
-		bigM = c
-	}
-	if bigM < 1 {
-		bigM = 1
-	}
-	scale := 4 * int64(m) * int64(m) * bigM * bigM
-	q := make([]int64, m)
-	var maxQ int64 = 1
-	for i := 0; i < m; i++ {
-		q[i] = d.Arc(i).Cost*scale + 1 + rnd.Int63n(2*int64(m)*bigM)
-		if a := abs64(q[i]); a > maxQ {
-			maxQ = a
-		}
-	}
-	// Capacity-weighted worst routing cost, then the domination chain.
-	var worstCost float64
-	for i := 0; i < m; i++ {
-		worstCost += float64(abs64(q[i])) * float64(d.Arc(i).Cap)
-	}
-	flowBonus := 4*worstCost + 1
-	lambda := 8 * flowBonus
-
+	bigM := formBigM(d)
 	fMax := 2 * float64(n) * float64(bigM) * float64(m)
 	yMax := 4 * (fMax + float64(m)*float64(bigM) + 1)
 
@@ -127,16 +123,12 @@ func NewLPForm(d *graph.Digraph, s, t int, rnd *rand.Rand) (*LPForm, error) {
 	l := make([]float64, mPrime)
 	u := make([]float64, mPrime)
 	for i := 0; i < m; i++ {
-		c[i] = float64(q[i])
 		u[i] = float64(d.Arc(i).Cap)
 	}
 	for j := 0; j < nPrime; j++ {
-		c[offY+j] = lambda
-		c[offZ+j] = lambda
 		u[offY+j] = yMax
 		u[offZ+j] = yMax
 	}
-	c[offF] = -flowBonus
 	u[offF] = fMax
 
 	prob := &lp.Problem{A: a, B: make([]float64, nPrime), C: c, L: l, U: u}
@@ -169,11 +161,55 @@ func NewLPForm(d *graph.Digraph, s, t int, rnd *rand.Rand) (*LPForm, error) {
 	}
 	form := &LPForm{
 		D: d, S: s, T: t, Prob: prob, X0: x0,
-		QTilde: q, CostScale: scale,
 		NPrime: nPrime, OffY: offY, OffZ: offZ, OffF: offF,
-		Lambda: lambda, FlowBonus: flowBonus,
 	}
 	return form, nil
+}
+
+// formBigM is the scale parameter M = max(capacity, |cost|, 1) of Section 5.
+func formBigM(d *graph.Digraph) int64 {
+	bigM := d.MaxCap()
+	if c := d.MaxAbsCost(); c > bigM {
+		bigM = c
+	}
+	if bigM < 1 {
+		bigM = 1
+	}
+	return bigM
+}
+
+// Perturb draws a fresh Daitch–Spielman cost perturbation and writes the
+// resulting objective into the LP (only the cost vector changes; matrix,
+// bounds and starting point are perturbation-independent). Consuming
+// exactly m draws from rnd, it matches NewLPForm's stream so session
+// re-perturbation is bit-identical to rebuilding the form.
+func (f *LPForm) Perturb(rnd *rand.Rand) {
+	d, m := f.D, f.D.M()
+	bigM := formBigM(d)
+	scale := 4 * int64(m) * int64(m) * bigM * bigM
+	q := make([]int64, m)
+	for i := 0; i < m; i++ {
+		q[i] = d.Arc(i).Cost*scale + 1 + rnd.Int63n(2*int64(m)*bigM)
+	}
+	// Capacity-weighted worst routing cost, then the domination chain.
+	var worstCost float64
+	for i := 0; i < m; i++ {
+		worstCost += float64(abs64(q[i])) * float64(d.Arc(i).Cap)
+	}
+	flowBonus := 4*worstCost + 1
+	lambda := 8 * flowBonus
+
+	c := f.Prob.C
+	for i := 0; i < m; i++ {
+		c[i] = float64(q[i])
+	}
+	for j := 0; j < f.NPrime; j++ {
+		c[f.OffY+j] = lambda
+		c[f.OffZ+j] = lambda
+	}
+	c[f.OffF] = -flowBonus
+	f.QTilde, f.CostScale = q, scale
+	f.Lambda, f.FlowBonus = lambda, flowBonus
 }
 
 func abs64(v int64) int64 {
@@ -225,9 +261,9 @@ func (f *LPForm) Configure(backend string) error {
 		gram := linalg.NewDense(f.NPrime, f.NPrime)
 		lapSolve := lapsolver.NewCGLapSolver()
 		f.Prob.Backend = ""
-		f.Prob.Solve = func(dvec, y []float64) ([]float64, error) {
+		f.Prob.Solve = func(ctx context.Context, dvec, y []float64) ([]float64, int, error) {
 			f.assembleATDAInto(dvec, gram)
-			return lapsolver.SDDSolve(gram, y, lapSolve)
+			return lapsolver.SDDSolve(ctx, gram, y, lapSolve)
 		}
 		return nil
 	}
@@ -253,9 +289,9 @@ func (f *LPForm) Configure(backend string) error {
 func (f *LPForm) ATDASolver(mode SolverMode) lp.ATDASolve {
 	if mode == SolverGremban {
 		lapSolve := lapsolver.NewCGLapSolver()
-		return func(dvec, y []float64) ([]float64, error) {
+		return func(ctx context.Context, dvec, y []float64) ([]float64, int, error) {
 			m := f.assembleATDA(dvec)
-			return lapsolver.SDDSolve(m, y, lapSolve)
+			return lapsolver.SDDSolve(ctx, m, y, lapSolve)
 		}
 	}
 	if name := mode.BackendName(); name != lp.DefaultBackend {

@@ -1,8 +1,10 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"bcclap/internal/graph"
 	"bcclap/internal/lp"
@@ -20,7 +22,8 @@ type Options struct {
 	Retries int
 	// Backend names the (AᵀDA) strategy from the lp backend registry
 	// ("dense", "gremban", "csr-cg", …); empty falls back to Solver, then
-	// to the dense reference.
+	// to the dense reference. Unknown names fail fast with
+	// lp.ErrBackendUnknown when the solver is constructed.
 	Backend string
 	// Solver picks the (AᵀDA) strategy by enum.
 	//
@@ -29,86 +32,310 @@ type Options struct {
 	Solver SolverMode
 	// LP forwards interior-point parameters.
 	LP lp.Params
-	// Rand drives the perturbations; nil seeds a default.
+	// Rand drives the perturbations. When non-nil it is consumed as a
+	// shared stream (successive Solver queries advance it); when nil each
+	// query draws from a fresh stream seeded by Seed, which makes session
+	// queries bit-identical to one-shot calls.
 	Rand *rand.Rand
+	// Seed seeds the per-query perturbation stream when Rand is nil; nil
+	// selects the historical default 2022. It is a pointer so that every
+	// int64 value — including 0 — names a distinct stream.
+	Seed *int64
 	// Net, if non-nil, receives round accounting.
 	Net *sim.Network
+	// Progress, if non-nil, is invoked at the start of every perturbation
+	// attempt. Observability only.
+	Progress func(attempt int)
 }
 
-// Result is the output of MinCostMaxFlow.
-type Result struct {
-	// Value is the maximum flow value, Cost its minimum cost.
-	Value, Cost int64
-	// Flows is the exact integral per-arc flow.
-	Flows []int64
-	// Attempts is the number of perturbations tried.
-	Attempts int
-	// LPStats carries the interior-point statistics of the successful
-	// attempt.
-	LPStats lp.Solution
-	// Rounds is the simulator round count (0 without a network).
-	Rounds int
+// withDefaults fills the zero values.
+func (o Options) withDefaults() Options {
+	if o.Eps == 0 {
+		o.Eps = 0.25
+	}
+	if o.Retries == 0 {
+		o.Retries = 5
+	}
+	return o
 }
 
-// MinCostMaxFlow computes an exact minimum-cost maximum s-t flow through
-// the paper's pipeline (Theorem 1.1): perturb costs for uniqueness, solve
-// the Section 5 LP with the Lee–Sidford interior-point method (Laplacian
-// solves via the Gremban reduction), round to integers, and certify; on a
-// failed certificate, retry with fresh perturbation randomness.
-func MinCostMaxFlow(d *graph.Digraph, s, t int, opts Options) (*Result, error) {
-	if opts.Eps == 0 {
-		opts.Eps = 0.25
-	}
-	if opts.Retries == 0 {
-		opts.Retries = 5
-	}
-	backend := opts.Backend
+// resolveBackend folds the deprecated Solver enum and the empty default
+// into a single registry name, and validates it against the registry —
+// the one place the legacy knobs are translated. Unknown names fail here,
+// before any solve starts, with an error satisfying
+// errors.Is(err, lp.ErrBackendUnknown).
+func (o Options) resolveBackend() (string, error) {
+	backend := o.Backend
 	if backend == "" {
-		mode := opts.Solver
+		mode := o.Solver
 		if mode == 0 {
 			mode = SolverDense
 		}
 		backend = mode.BackendName()
 	}
-	rnd := opts.Rand
-	if rnd == nil {
-		rnd = rand.New(rand.NewSource(2022))
+	if err := lp.ValidateBackend(backend); err != nil {
+		return "", err
 	}
-	var lastErr error
-	for attempt := 1; attempt <= opts.Retries; attempt++ {
-		form, err := NewLPForm(d, s, t, rnd)
+	return backend, nil
+}
+
+// Result is the output of a min-cost max-flow solve.
+type Result struct {
+	// Value is the maximum flow value, Cost its minimum cost.
+	Value, Cost int64
+	// Flows is the exact integral per-arc flow.
+	Flows []int64
+	// Attempts is the number of fresh perturbations tried (0 for a
+	// successful warm-started batch solve, which reuses the previous
+	// certified perturbation).
+	Attempts int
+	// LPStats carries the interior-point statistics of the successful
+	// attempt (path steps, centerings, inner CG iterations).
+	LPStats lp.Solution
+	// Rounds is the simulator round count consumed by this solve (0
+	// without a network).
+	Rounds int
+	// WallTime is the measured duration of this solve.
+	WallTime time.Duration
+	// ReusedForm reports that the LP formulation, CSR structure and
+	// backend workspaces were reused from an earlier query on the same
+	// terminals (session amortization).
+	ReusedForm bool
+	// WarmStarted reports that the solve skipped path following entirely,
+	// re-centering the previous certified solution at t₂ (batch mode).
+	WarmStarted bool
+}
+
+// Query is a terminal pair for Solver.SolveBatch.
+type Query struct {
+	S, T int
+}
+
+// formState is the per-terminal-pair cache of a Solver: the LP structure,
+// the lp session bound to it (backend + scratch), and the last certified
+// solution for warm starts.
+type formState struct {
+	form *LPForm
+	sess *lp.Session
+	used bool
+	// warmX/warmW are the LP iterate and Lewis weights of the last
+	// certified solve, valid for the perturbation currently written in
+	// form (Perturb invalidates them implicitly: the cold path never reads
+	// them, and the warm path is only taken when no re-perturbation
+	// happened since they were stored).
+	warmX, warmW []float64
+}
+
+// Solver is a reusable min-cost max-flow session over one digraph
+// (Theorem 1.1 as a service): construction validates the options, and each
+// queried terminal pair lazily builds — then caches — the Section 5 LP
+// formulation, its CSR constraint matrix and the linear-solve backend
+// workspaces, so repeated and batched queries skip everything that is
+// query-independent. A Solver is not safe for concurrent use.
+type Solver struct {
+	d       *graph.Digraph
+	opts    Options
+	backend string
+	forms   map[Query]*formState
+}
+
+// NewSolver builds a session over d. It fails fast — before any query —
+// on an empty digraph (ErrBadQuery) or an unknown backend name
+// (lp.ErrBackendUnknown, listing the registered backends).
+func NewSolver(d *graph.Digraph, opts Options) (*Solver, error) {
+	if err := checkNonEmpty(d); err != nil {
+		return nil, err
+	}
+	backend, err := opts.resolveBackend()
+	if err != nil {
+		return nil, err
+	}
+	return &Solver{d: d, opts: opts.withDefaults(), backend: backend, forms: map[Query]*formState{}}, nil
+}
+
+// formFor returns the cached per-terminal state, building it on first use.
+func (fs *Solver) formFor(q Query) (*formState, error) {
+	if st, ok := fs.forms[q]; ok {
+		return st, nil
+	}
+	form, err := NewLPFormStructure(fs.d, q.S, q.T)
+	if err != nil {
+		return nil, err
+	}
+	if err := form.Configure(fs.backend); err != nil {
+		return nil, err
+	}
+	sess, err := lp.NewSession(form.Prob)
+	if err != nil {
+		return nil, err
+	}
+	st := &formState{form: form, sess: sess}
+	fs.forms[q] = st
+	return st, nil
+}
+
+// queryRand returns the perturbation stream for one query.
+func (fs *Solver) queryRand() *rand.Rand {
+	if fs.opts.Rand != nil {
+		return fs.opts.Rand
+	}
+	seed := int64(2022)
+	if fs.opts.Seed != nil {
+		seed = *fs.opts.Seed
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// SeedOf is a convenience for composing Options literals: Seed: SeedOf(7).
+func SeedOf(seed int64) *int64 { return &seed }
+
+// lpParams prepares the interior-point parameters for one attempt.
+func (fs *Solver) lpParams(attempt int64) lp.Params {
+	par := fs.opts.LP
+	par.Net = fs.opts.Net
+	if par.Seed == 0 {
+		par.Seed = attempt
+	}
+	return par
+}
+
+// Solve answers one (s, t) query: perturb costs for uniqueness, solve the
+// Section 5 LP with the Lee–Sidford interior-point method, round to
+// integers and certify; on a failed certificate, retry with fresh
+// perturbation randomness. Results are bit-identical to a one-shot
+// MinCostMaxFlowCtx call with the same Options (when Options.Rand is nil).
+// ctx cancellation aborts within one path-following iteration with an
+// error satisfying errors.Is(err, ctx.Err()).
+func (fs *Solver) Solve(ctx context.Context, s, t int) (*Result, error) {
+	return fs.solve(ctx, Query{S: s, T: t}, false)
+}
+
+// SolveBatch answers a sequence of queries, validating every terminal pair
+// up front (a malformed query fails the whole batch before any work
+// starts). Repeated terminal pairs are warm-started: the solver re-centers
+// the previous certified solution at the final path parameter instead of
+// re-running path following, falling back to a cold solve whenever the
+// exactness certificate rejects the shortcut — so every returned flow is
+// certified optimal regardless of how it was obtained.
+func (fs *Solver) SolveBatch(ctx context.Context, queries []Query) ([]*Result, error) {
+	for i, q := range queries {
+		if err := checkST(fs.d, q.S, q.T); err != nil {
+			return nil, fmt.Errorf("flow: batch query %d: %w", i, err)
+		}
+	}
+	out := make([]*Result, len(queries))
+	for i, q := range queries {
+		res, err := fs.solve(ctx, q, true)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("flow: batch query %d (s=%d, t=%d): %w", i, q.S, q.T, err)
 		}
-		if err := form.Configure(backend); err != nil {
-			return nil, err
+		out[i] = res
+	}
+	return out, nil
+}
+
+func (fs *Solver) solve(ctx context.Context, q Query, tryWarm bool) (*Result, error) {
+	start := time.Now()
+	st, err := fs.formFor(q)
+	if err != nil {
+		return nil, err
+	}
+	startRounds := 0
+	if fs.opts.Net != nil {
+		startRounds = fs.opts.Net.Rounds()
+	}
+	reused := st.used
+	st.used = true
+
+	if tryWarm && st.warmX != nil {
+		// The LP — including its perturbed costs — is unchanged since the
+		// last certified solve of this query: a handful of centerings at t₂
+		// from the previous optimum replaces the whole Õ(√n)-step path
+		// following. The previous optimum hugs the box boundary, so blend a
+		// small step toward the cold interior point first (a shifted warm
+		// start) — the margin it regains must dominate the feasibility
+		// repair Polish applies, and the rounding margin (1/6 of a flow
+		// unit) absorbs the shift. The certificate below keeps this exact.
+		const warmBlend = 0.05
+		x := make([]float64, len(st.warmX))
+		for i := range x {
+			x[i] = (1-warmBlend)*st.warmX[i] + warmBlend*st.form.X0[i]
 		}
-		par := opts.LP
-		par.Net = opts.Net
-		if par.Seed == 0 {
-			par.Seed = int64(attempt)
+		sol, err := st.sess.Polish(ctx, x, st.warmW, fs.opts.Eps, fs.lpParams(1))
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("flow: warm solve: %w", err)
+			}
+		} else {
+			flows := st.form.RoundFlow(sol.X)
+			if CertifyOptimal(fs.d, q.S, q.T, flows) == nil {
+				st.warmX, st.warmW = sol.X, sol.Weights
+				return fs.newResult(q, flows, 0, sol, startRounds, start, reused, true), nil
+			}
 		}
-		sol, err := lp.Solve(form.Prob, form.X0, opts.Eps, par)
+		// Certificate (or polish) rejected the shortcut; run cold.
+	}
+
+	rnd := fs.queryRand()
+	var lastErr error
+	for attempt := 1; attempt <= fs.opts.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("flow: canceled before attempt %d: %w", attempt, err)
+		}
+		if fs.opts.Progress != nil {
+			fs.opts.Progress(attempt)
+		}
+		st.form.Perturb(rnd)
+		st.warmX, st.warmW = nil, nil // costs changed; prior optimum is stale
+		sol, err := st.sess.Solve(ctx, st.form.X0, fs.opts.Eps, fs.lpParams(int64(attempt)))
 		if err != nil {
 			lastErr = fmt.Errorf("flow: LP attempt %d: %w", attempt, err)
+			if ctx.Err() != nil {
+				return nil, lastErr
+			}
 			continue
 		}
-		flows := form.RoundFlow(sol.X)
-		if err := CertifyOptimal(d, s, t, flows); err != nil {
+		flows := st.form.RoundFlow(sol.X)
+		if err := CertifyOptimal(fs.d, q.S, q.T, flows); err != nil {
 			lastErr = fmt.Errorf("flow: attempt %d certificate: %w", attempt, err)
 			continue
 		}
-		res := &Result{
-			Value:    FlowValue(d, s, flows),
-			Cost:     FlowCost(d, flows),
-			Flows:    flows,
-			Attempts: attempt,
-			LPStats:  *sol,
-		}
-		if opts.Net != nil {
-			res.Rounds = opts.Net.Rounds()
-		}
-		return res, nil
+		st.warmX, st.warmW = sol.X, sol.Weights
+		return fs.newResult(q, flows, attempt, sol, startRounds, start, reused, false), nil
 	}
-	return nil, fmt.Errorf("flow: all %d attempts failed: %w", opts.Retries, lastErr)
+	return nil, fmt.Errorf("flow: all %d attempts failed: %w", fs.opts.Retries, lastErr)
+}
+
+func (fs *Solver) newResult(q Query, flows []int64, attempts int, sol *lp.Solution, startRounds int, start time.Time, reused, warm bool) *Result {
+	res := &Result{
+		Value:       FlowValue(fs.d, q.S, flows),
+		Cost:        FlowCost(fs.d, flows),
+		Flows:       flows,
+		Attempts:    attempts,
+		LPStats:     *sol,
+		WallTime:    time.Since(start),
+		ReusedForm:  reused,
+		WarmStarted: warm,
+	}
+	if fs.opts.Net != nil {
+		res.Rounds = fs.opts.Net.Rounds() - startRounds
+	}
+	return res
+}
+
+// MinCostMaxFlow computes an exact minimum-cost maximum s-t flow through
+// the paper's pipeline (Theorem 1.1); see MinCostMaxFlowCtx.
+func MinCostMaxFlow(d *graph.Digraph, s, t int, opts Options) (*Result, error) {
+	return MinCostMaxFlowCtx(context.Background(), d, s, t, opts)
+}
+
+// MinCostMaxFlowCtx is the one-shot form of Solver: it builds a session,
+// answers the single query under ctx and discards the session. Callers
+// with more than one query per digraph should hold a Solver instead.
+func MinCostMaxFlowCtx(ctx context.Context, d *graph.Digraph, s, t int, opts Options) (*Result, error) {
+	fs, err := NewSolver(d, opts)
+	if err != nil {
+		return nil, err
+	}
+	return fs.Solve(ctx, s, t)
 }

@@ -13,6 +13,7 @@
 package lapsolver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -184,10 +185,18 @@ type Stats struct {
 }
 
 // Solve returns y with ‖x − y‖_{L_G} ≤ ε‖x‖_{L_G} for the (mean-zero)
-// solution x of L_G x = b. b is projected orthogonal to the all-ones
-// nullspace first, as in the model every vertex holds one coordinate and
-// the projection is a single aggregate broadcast.
+// solution x of L_G x = b. It is SolveCtx without cancellation.
 func (s *Solver) Solve(b []float64, eps float64) ([]float64, Stats, error) {
+	return s.SolveCtx(context.Background(), b, eps)
+}
+
+// SolveCtx is Solve under a context: the Chebyshev/CG inner loops poll ctx
+// and return an error satisfying errors.Is(err, ctx.Err()) on cancellation
+// or deadline, leaving the solver reusable for the next instance. b is
+// projected orthogonal to the all-ones nullspace first, as in the model
+// every vertex holds one coordinate and the projection is a single
+// aggregate broadcast.
+func (s *Solver) SolveCtx(ctx context.Context, b []float64, eps float64) ([]float64, Stats, error) {
 	if len(b) != s.g.N() {
 		return nil, Stats{}, fmt.Errorf("lapsolver: b has %d entries, want %d", len(b), s.g.N())
 	}
@@ -210,15 +219,32 @@ func (s *Solver) Solve(b []float64, eps float64) ([]float64, Stats, error) {
 		linalg.Scale(1/s.hiScale, dst)
 		linalg.ProjectOutOnesInPlace(dst)
 	}
-	chres := linalg.PreconditionedChebyshevTo(s.y, s.mulA, solveBTo, s.pb, s.kappa, eps, s.ws)
+	chres, err := linalg.PreconditionedChebyshevTo(ctx, s.y, s.mulA, solveBTo, s.pb, s.kappa, eps, s.ws)
 	st := Stats{Iterations: chres.Iterations, ResidualNorm: chres.ResidualNorm}
+	if err != nil {
+		if s.net != nil {
+			st.Rounds = s.net.Rounds() - startRounds
+		}
+		return nil, st, fmt.Errorf("lapsolver: %w", err)
+	}
 	if bn := linalg.Norm2(s.pb); chres.ResidualNorm > eps*bn {
 		// Safeguard for sparsifiers whose measured pencil band was an
 		// underestimate: finish with preconditioned CG using the same
 		// preconditioner. Same per-iteration communication cost.
 		extraTol := eps * 1e-2
 		y2 := s.ws.Get(len(s.pb))
-		err := linalg.CGTo(y2, s.mulA, s.pb, extraTol, 6*s.g.N()+200, solveBTo, s.ws)
+		cgIters, err := linalg.CGTo(ctx, y2, s.mulA, s.pb, extraTol, 6*s.g.N()+200, solveBTo, s.ws)
+		st.Iterations += cgIters
+		// A canceled CG aborts the instance (err then wraps ctx.Err()); a
+		// cancellation arriving only after CG converged does not discard
+		// the finished solution.
+		if err != nil && ctx.Err() != nil {
+			s.ws.Put(y2)
+			if s.net != nil {
+				st.Rounds = s.net.Rounds() - startRounds
+			}
+			return nil, st, fmt.Errorf("lapsolver: %w", err)
+		}
 		if err == nil {
 			copy(s.y, y2)
 			s.lg.MulVecTo(s.resid, s.y)

@@ -1,6 +1,8 @@
 package lapsolver
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -203,12 +205,40 @@ func TestSDDSolveMatchesDense(t *testing.T) {
 			want[i] = rnd.NormFloat64()
 		}
 		y := m.MulVec(want)
-		got, err := SDDSolve(m, y, CGLapSolve)
+		got, _, err := SDDSolve(context.Background(), m, y, CGLapSolve)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if d := linalg.Norm2(linalg.Sub(got, want)); d > 1e-6*(1+linalg.Norm2(want)) {
 			t.Fatalf("trial %d: error %g", trial, d)
 		}
+	}
+}
+
+// A canceled context must abort a Laplacian solve with an error satisfying
+// errors.Is(err, context.Canceled), and the solver must stay usable.
+func TestSolveCtxCancellation(t *testing.T) {
+	g := graph.Grid(5, 5)
+	s, err := New(g, Config{Rand: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, g.N())
+	rnd := rand.New(rand.NewSource(4))
+	for i := range b {
+		b[i] = rnd.NormFloat64()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.SolveCtx(ctx, b, 1e-6); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled solve returned %v", err)
+	}
+	// The same solver must still answer fresh instances correctly.
+	y, st, err := s.SolveCtx(context.Background(), b, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations == 0 || len(y) != g.N() {
+		t.Fatalf("post-cancel solve broken: %+v", st)
 	}
 }

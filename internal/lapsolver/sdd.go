@@ -1,6 +1,7 @@
 package lapsolver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -62,34 +63,40 @@ func GrembanLaplacian(m *linalg.Dense) ([]linalg.WEdge, error) {
 	return edges, nil
 }
 
+// LapSolveFunc solves a Laplacian system over an explicit edge list; it
+// reports the inner iteration count so callers can aggregate per-solve
+// statistics, and honors ctx for cancellation.
+type LapSolveFunc func(ctx context.Context, edges []linalg.WEdge, nn int, b []float64) ([]float64, int, error)
+
 // SDDSolve solves M x = y via the Gremban reduction, delegating the
 // 2n-vertex Laplacian solve to lapSolve (for example CG, or the full
 // Theorem 1.3 BCC solver — the paper simulates the doubled network by
 // letting vertex i play both virtual vertices i and i+n, doubling the round
-// count).
-func SDDSolve(m *linalg.Dense, y []float64, lapSolve func(edges []linalg.WEdge, nn int, b []float64) ([]float64, error)) ([]float64, error) {
+// count). The int return is the inner iteration count of the delegated
+// solve.
+func SDDSolve(ctx context.Context, m *linalg.Dense, y []float64, lapSolve LapSolveFunc) ([]float64, int, error) {
 	n := m.Rows()
 	if len(y) != n {
-		return nil, linalg.ErrDimension
+		return nil, 0, linalg.ErrDimension
 	}
 	edges, err := GrembanLaplacian(m)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	b := make([]float64, 2*n)
 	for i := 0; i < n; i++ {
 		b[i] = y[i]
 		b[i+n] = -y[i]
 	}
-	sol, err := lapSolve(edges, 2*n, b)
+	sol, iters, err := lapSolve(ctx, edges, 2*n, b)
 	if err != nil {
-		return nil, err
+		return nil, iters, err
 	}
 	x := make([]float64, n)
 	for i := 0; i < n; i++ {
 		x[i] = (sol[i] - sol[i+n]) / 2
 	}
-	return x, nil
+	return x, iters, nil
 }
 
 // NewCGLapSolver returns a lapSolve callback for SDDSolve: Jacobi-
@@ -99,9 +106,9 @@ func SDDSolve(m *linalg.Dense, y []float64, lapSolve func(edges []linalg.WEdge, 
 // only needs poly(1/m) precision per the paper) keep the solves robust.
 // The returned closure owns a workspace reused across calls (one closure
 // per sequential solve stream; not safe for concurrent use).
-func NewCGLapSolver() func(edges []linalg.WEdge, nn int, b []float64) ([]float64, error) {
+func NewCGLapSolver() LapSolveFunc {
 	ws := linalg.NewWorkspace()
-	return func(edges []linalg.WEdge, nn int, b []float64) ([]float64, error) {
+	return func(ctx context.Context, edges []linalg.WEdge, nn int, b []float64) ([]float64, int, error) {
 		lap := linalg.LaplacianOp{N: nn, Edges: edges}
 		diag := ws.Get(nn)
 		pb := ws.Get(nn)
@@ -139,24 +146,27 @@ func NewCGLapSolver() func(edges []linalg.WEdge, nn int, b []float64) ([]float64
 			}
 			linalg.ProjectOutOnesInPlace(dst)
 		}
-		err := linalg.CGTo(x, op, pb, 1e-10, 40*nn+4000, precondTo, ws)
+		iters, err := linalg.CGTo(ctx, x, op, pb, 1e-10, 40*nn+4000, precondTo, ws)
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, iters, err
+			}
 			// Accept the best iterate when it is precise enough for the IPM.
 			ax := ws.Get(nn)
 			op.MulVecTo(ax, x)
 			res := linalg.Norm2(linalg.Sub(pb, ax))
 			ws.Put(ax)
 			if res > 1e-6*(1+linalg.Norm2(pb)) {
-				return nil, err
+				return nil, iters, err
 			}
 		}
 		// x is workspace-owned; hand the caller a fresh projected copy.
-		return linalg.ProjectOutOnes(x), nil
+		return linalg.ProjectOutOnes(x), iters, nil
 	}
 }
 
 // CGLapSolve is the one-shot form of NewCGLapSolver for callers outside a
 // solve loop.
-func CGLapSolve(edges []linalg.WEdge, nn int, b []float64) ([]float64, error) {
-	return NewCGLapSolver()(edges, nn, b)
+func CGLapSolve(ctx context.Context, edges []linalg.WEdge, nn int, b []float64) ([]float64, int, error) {
+	return NewCGLapSolver()(ctx, edges, nn, b)
 }

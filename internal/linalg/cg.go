@@ -1,10 +1,21 @@
 package linalg
 
-import "errors"
+import (
+	"context"
+	"errors"
+	"fmt"
+)
 
 // ErrNoConvergence is returned when an iterative solver exhausts its
 // iteration budget without reaching the requested tolerance.
 var ErrNoConvergence = errors.New("linalg: iterative solver did not converge")
+
+// cancelCheckInterval is how often (in iterations) the inner solve loops
+// poll ctx.Err(). Checking every iteration would put a branch on the hot
+// path for nothing — a handful of matrix-vector products between polls
+// keeps cancellation latency far below one outer IPM iteration while the
+// kernel stays allocation-free.
+const cancelCheckInterval = 32
 
 // MulVecer is any operator that can apply itself to a vector. Both Dense and
 // CSR satisfy it, as do function adapters.
@@ -23,7 +34,11 @@ func (f OpFunc) MulVec(x []float64) []float64 { return f(x) }
 // initialized to zero by this function). precondTo, if non-nil, applies an
 // SPD preconditioner M⁻¹ into its first argument. All temporaries come from
 // ws, so repeated solves through a shared workspace allocate nothing.
-func CGTo(x []float64, a LinOp, b []float64, tol float64, maxIter int, precondTo func(dst, r []float64), ws *Workspace) error {
+//
+// ctx is polled every cancelCheckInterval iterations; on cancellation the
+// returned error satisfies errors.Is(err, ctx.Err()). The returned count is
+// the number of CG iterations performed.
+func CGTo(ctx context.Context, x []float64, a LinOp, b []float64, tol float64, maxIter int, precondTo func(dst, r []float64), ws *Workspace) (int, error) {
 	n := len(b)
 	if len(x) != n {
 		panic("linalg: CGTo dimension mismatch")
@@ -33,7 +48,7 @@ func CGTo(x []float64, a LinOp, b []float64, tol float64, maxIter int, precondTo
 	}
 	bnorm := Norm2(b)
 	if bnorm == 0 {
-		return nil
+		return 0, nil
 	}
 	r := ws.Get(n)
 	copy(r, b)
@@ -57,15 +72,20 @@ func CGTo(x []float64, a LinOp, b []float64, tol float64, maxIter int, precondTo
 	copy(p, z)
 	rz := Dot(r, z)
 	for it := 0; it < maxIter; it++ {
+		if it%cancelCheckInterval == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return it, fmt.Errorf("linalg: CG canceled after %d iterations: %w", it, err)
+			}
+		}
 		if Norm2(r) <= tol*bnorm {
-			return nil
+			return it, nil
 		}
 		a.MulVecTo(ap, p)
 		pap := Dot(p, ap)
 		if pap <= 0 {
 			// Not SPD in this direction (or numerically exhausted); stop with
 			// the best iterate rather than diverging.
-			return nil
+			return it, nil
 		}
 		alpha := rz / pap
 		AXPY(alpha, p, x)
@@ -79,14 +99,14 @@ func CGTo(x []float64, a LinOp, b []float64, tol float64, maxIter int, precondTo
 		}
 	}
 	if Norm2(r) <= tol*bnorm {
-		return nil
+		return maxIter, nil
 	}
-	return ErrNoConvergence
+	return maxIter, ErrNoConvergence
 }
 
 // CG solves A x = b with conjugate gradients, allocating its result and
-// temporaries (wrapper over CGTo for callers without a workspace). precond,
-// if non-nil, applies an SPD preconditioner M⁻¹.
+// temporaries (wrapper over CGTo for callers without a workspace or
+// context). precond, if non-nil, applies an SPD preconditioner M⁻¹.
 func CG(a MulVecer, b []float64, tol float64, maxIter int, precond func([]float64) []float64) ([]float64, error) {
 	n := len(b)
 	x := make([]float64, n)
@@ -95,7 +115,7 @@ func CG(a MulVecer, b []float64, tol float64, maxIter int, precond func([]float6
 	if precond != nil {
 		precondTo = func(dst, r []float64) { copy(dst, precond(r)) }
 	}
-	err := CGTo(x, op, b, tol, maxIter, precondTo, nil)
+	_, err := CGTo(context.Background(), x, op, b, tol, maxIter, precondTo, nil)
 	return x, err
 }
 

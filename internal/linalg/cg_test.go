@@ -1,6 +1,8 @@
 package linalg
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -160,5 +162,37 @@ func TestPreconditionedChebyshevKappa3(t *testing.T) {
 	_ = x
 	if res.ResidualNorm > 1e-6*Norm2(b) {
 		t.Fatalf("residual %g too large after %d iters", res.ResidualNorm, res.Iterations)
+	}
+}
+
+// A pre-canceled context must abort both inner iterations promptly with an
+// error satisfying errors.Is(err, context.Canceled).
+func TestIterativeSolversHonorContext(t *testing.T) {
+	rnd := rand.New(rand.NewSource(21))
+	n := 32
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rnd.NormFloat64())
+		}
+	}
+	spd := a.Transpose().Mul(a)
+	for i := 0; i < n; i++ {
+		spd.Inc(i, i, 1)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rnd.NormFloat64()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	x := make([]float64, n)
+	iters, err := CGTo(ctx, x, spd, b, 1e-12, 10*n, nil, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("CGTo under canceled context: iters=%d err=%v", iters, err)
+	}
+	solveB := func(dst, r []float64) { copy(dst, r) }
+	if _, err := PreconditionedChebyshevTo(ctx, x, spd, solveB, b, 4, 1e-6, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Chebyshev under canceled context: %v", err)
 	}
 }

@@ -1,6 +1,10 @@
 package linalg
 
-import "math"
+import (
+	"context"
+	"fmt"
+	"math"
+)
 
 // ChebyshevResult reports what a preconditioned Chebyshev run did.
 type ChebyshevResult struct {
@@ -23,7 +27,11 @@ type ChebyshevResult struct {
 // operator B⁻¹A, whose spectrum lies in [1/κ, 1] (restricted to the range of
 // A; callers handle nullspaces, e.g. by projecting out the all-ones vector
 // for Laplacians).
-func PreconditionedChebyshevTo(x []float64, a LinOp, solveBTo func(dst, r []float64), b []float64, kappa, eps float64, ws *Workspace) ChebyshevResult {
+//
+// ctx is polled every cancelCheckInterval iterations; on cancellation the
+// returned error satisfies errors.Is(err, ctx.Err()) and the result reports
+// the iterations completed so far.
+func PreconditionedChebyshevTo(ctx context.Context, x []float64, a LinOp, solveBTo func(dst, r []float64), b []float64, kappa, eps float64, ws *Workspace) (ChebyshevResult, error) {
 	n := len(b)
 	if len(x) != n {
 		panic("linalg: PreconditionedChebyshevTo dimension mismatch")
@@ -49,6 +57,12 @@ func PreconditionedChebyshevTo(x []float64, a LinOp, solveBTo func(dst, r []floa
 	}()
 	var alpha float64
 	for k := 0; k < iters; k++ {
+		if k%cancelCheckInterval == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return ChebyshevResult{Iterations: k, ResidualNorm: Norm2(r)},
+					fmt.Errorf("linalg: Chebyshev canceled after %d iterations: %w", k, err)
+			}
+		}
 		solveBTo(z, r)
 		switch k {
 		case 0:
@@ -72,15 +86,16 @@ func PreconditionedChebyshevTo(x []float64, a LinOp, solveBTo func(dst, r []floa
 			r[i] = b[i] - ax[i]
 		}
 	}
-	return ChebyshevResult{Iterations: iters, ResidualNorm: Norm2(r)}
+	return ChebyshevResult{Iterations: iters, ResidualNorm: Norm2(r)}, nil
 }
 
 // PreconditionedChebyshev is the allocating wrapper over
-// PreconditionedChebyshevTo for callers holding closures instead of LinOps.
+// PreconditionedChebyshevTo for callers holding closures instead of LinOps
+// or a context.
 func PreconditionedChebyshev(mulA, solveB func([]float64) []float64, b []float64, kappa, eps float64) ([]float64, ChebyshevResult) {
 	n := len(b)
 	x := make([]float64, n)
 	op := FuncOp{R: n, C: n, Apply: func(dst, v []float64) { copy(dst, mulA(v)) }}
-	res := PreconditionedChebyshevTo(x, op, func(dst, r []float64) { copy(dst, solveB(r)) }, b, kappa, eps, nil)
+	res, _ := PreconditionedChebyshevTo(context.Background(), x, op, func(dst, r []float64) { copy(dst, solveB(r)) }, b, kappa, eps, nil)
 	return x, res
 }

@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -240,7 +241,7 @@ func TestCGToMatchesCG(t *testing.T) {
 	}
 	ws := NewWorkspace()
 	got := make([]float64, n)
-	if err := CGTo(got, spd, b, 1e-12, 10*n, nil, ws); err != nil {
+	if _, err := CGTo(context.Background(), got, spd, b, 1e-12, 10*n, nil, ws); err != nil {
 		t.Fatal(err)
 	}
 	for i := range got {
@@ -254,7 +255,7 @@ func TestCGToMatchesCG(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := CGTo(got, spd, b2, 1e-12, 10*n, nil, ws); err != nil {
+	if _, err := CGTo(context.Background(), got, spd, b2, 1e-12, 10*n, nil, ws); err != nil {
 		t.Fatal(err)
 	}
 	for i := range got {

@@ -18,6 +18,8 @@
 package lp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -25,6 +27,11 @@ import (
 	"bcclap/internal/lapsolver"
 	"bcclap/internal/linalg"
 )
+
+// ErrBackendUnknown is returned (wrapped, with the registered names) when a
+// backend name does not resolve in the registry. Callers detect it with
+// errors.Is and fail fast before any solve starts.
+var ErrBackendUnknown = errors.New("lp: unknown backend")
 
 // BackendFactory builds an ATDASolve bound to a fixed constraint matrix A.
 // The returned closure is invoked once per path step with a fresh diagonal;
@@ -71,9 +78,26 @@ func NewBackendSolver(name string, a *linalg.CSR) (ATDASolve, error) {
 	f, ok := backends[name]
 	backendMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("lp: unknown backend %q (registered: %v)", name, Backends())
+		return nil, fmt.Errorf("%w %q (registered: %v)", ErrBackendUnknown, name, Backends())
 	}
 	return f(a)
+}
+
+// ValidateBackend reports whether name resolves in the registry without
+// instantiating it ("" is valid and selects DefaultBackend). The error
+// satisfies errors.Is(err, ErrBackendUnknown) and lists the registered
+// names, so API boundaries can reject typos before any work starts.
+func ValidateBackend(name string) error {
+	if name == "" {
+		return nil
+	}
+	backendMu.RLock()
+	_, ok := backends[name]
+	backendMu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w %q (registered: %v)", ErrBackendUnknown, name, Backends())
+	}
+	return nil
 }
 
 // DefaultBackend is the name Problem.solver falls back to when neither
@@ -91,18 +115,19 @@ func init() {
 func denseBackend(a *linalg.CSR) (ATDASolve, error) {
 	n := a.Cols()
 	gram := linalg.NewDense(n, n)
-	return func(d, y []float64) ([]float64, error) {
+	return func(_ context.Context, d, y []float64) ([]float64, int, error) {
 		if err := checkATDAArgs(a, d, y); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		assembleGram(a, d, gram)
 		chol, err := gram.Cholesky()
 		if err != nil {
 			// Fall back to pivoted Gaussian elimination for semidefinite
 			// edge cases (e.g. a bound exactly hit by degenerate weights).
-			return gram.Solve(y)
+			x, err := gram.Solve(y)
+			return x, 0, err
 		}
-		return linalg.CholSolve(chol, y), nil
+		return linalg.CholSolve(chol, y), 0, nil
 	}, nil
 }
 
@@ -115,12 +140,12 @@ func grembanBackend(a *linalg.CSR) (ATDASolve, error) {
 	n := a.Cols()
 	gram := linalg.NewDense(n, n)
 	lapSolve := lapsolver.NewCGLapSolver()
-	return func(d, y []float64) ([]float64, error) {
+	return func(ctx context.Context, d, y []float64) ([]float64, int, error) {
 		if err := checkATDAArgs(a, d, y); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		assembleGram(a, d, gram)
-		return lapsolver.SDDSolve(gram, y, lapSolve)
+		return lapsolver.SDDSolve(ctx, gram, y, lapSolve)
 	}, nil
 }
 
@@ -144,9 +169,9 @@ func csrCGBackend(a *linalg.CSR) (ATDASolve, error) {
 			dst[i] = r[i] / diag[i]
 		}
 	}
-	return func(d, y []float64) ([]float64, error) {
+	return func(ctx context.Context, d, y []float64) ([]float64, int, error) {
 		if err := checkATDAArgs(a, d, y); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		copy(dbuf, d)
 		a.GramDiagTo(diag, d)
@@ -158,14 +183,17 @@ func csrCGBackend(a *linalg.CSR) (ATDASolve, error) {
 		// The barrier weights span many orders of magnitude, so aim for a
 		// tight residual but accept poly(1/m) precision (all the IPM needs,
 		// as in the Gremban route).
-		err := linalg.CGTo(x, op, y, 1e-10, 40*n+4000, precondTo, ws)
+		iters, err := linalg.CGTo(ctx, x, op, y, 1e-10, 40*n+4000, precondTo, ws)
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, iters, err
+			}
 			op.MulVecTo(ax, x)
 			if linalg.Norm2(linalg.Sub(y, ax)) > 1e-6*(1+linalg.Norm2(y)) {
-				return nil, err
+				return nil, iters, err
 			}
 		}
-		return linalg.Clone(x), nil
+		return linalg.Clone(x), iters, nil
 	}, nil
 }
 

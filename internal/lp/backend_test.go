@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -82,13 +83,13 @@ func TestBackendsAgree(t *testing.T) {
 			for i := range y {
 				y[i] = rnd.NormFloat64()
 			}
-			ref, err := solvers["dense"](d, y)
+			ref, _, err := solvers["dense"](context.Background(), d, y)
 			if err != nil {
 				t.Fatalf("dense: %v", err)
 			}
 			refNorm := 1 + linalg.Norm2(ref)
 			for name, solve := range solvers {
-				got, err := solve(d, y)
+				got, _, err := solve(context.Background(), d, y)
 				if err != nil {
 					t.Fatalf("trial %d rep %d backend %s: %v", trial, rep, name, err)
 				}

@@ -14,11 +14,16 @@ import (
 // shared Kane–Nelson seed.
 type LeverageFn func(d []float64) ([]float64, error)
 
+// GramSolve answers (AᵀDA)x = y. The leverage computations receive it as a
+// context-free closure; callers bind their context (and iteration
+// accounting) with ATDASolve.Bind.
+type GramSolve func(d, y []float64) ([]float64, error)
+
 // NewLeverageFn builds a LeverageFn over A. When exact is false it uses a
 // Kane–Nelson sketch of dimension Θ(log(m)/η²) with a fresh seed per call
 // (in the BCC the leader broadcasts O(log²m) seed bits once per call, as in
 // Algorithm 6). solve answers (AᵀDA)x = y.
-func NewLeverageFn(a *linalg.CSR, solve ATDASolve, exact bool, eta float64, seed int64) LeverageFn {
+func NewLeverageFn(a *linalg.CSR, solve GramSolve, exact bool, eta float64, seed int64) LeverageFn {
 	m, n := a.Rows(), a.Cols()
 	counter := seed
 	return func(d []float64) ([]float64, error) {

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -27,7 +28,7 @@ func TestLewisWeightsPTwoAreLeverageScores(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lev := NewLeverageFn(a, sol, true, 0, 1)
+	lev := NewLeverageFn(a, sol.Bind(context.Background()), true, 0, 1)
 	base := linalg.Ones(m)
 	// For p = 2, W^{1/2−1/p} = W⁰ = I, so the fixed point is σ(A) itself.
 	sigma, err := lev(base)
@@ -56,7 +57,7 @@ func TestLewisFixedPoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lev := NewLeverageFn(a, sol, true, 0, 1)
+	lev := NewLeverageFn(a, sol.Bind(context.Background()), true, 0, 1)
 	base := linalg.Ones(m)
 	p := 1.2
 	par := DefaultLewisParams()
@@ -100,7 +101,7 @@ func TestComputeInitialWeightsStepCountScales(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		lev := NewLeverageFn(a, sol, true, 0, 1)
+		lev := NewLeverageFn(a, sol.Bind(context.Background()), true, 0, 1)
 		par := DefaultLewisParams()
 		par.MaxIters = 2
 		_, st, err := ComputeInitialWeights(lev, linalg.Ones(m), 1-1/math.Log(4*float64(m)), n, m, par, 10000)

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -9,8 +10,20 @@ import (
 
 // ATDASolve solves (AᵀDA)x = y for the positive diagonal D (given as a
 // vector). Implementations come from the backend registry (see backend.go)
-// or from a caller-supplied override on Problem.Solve.
-type ATDASolve func(d, y []float64) ([]float64, error)
+// or from a caller-supplied override on Problem.Solve. The int return is
+// the number of inner (CG) iterations spent — 0 for direct methods — which
+// the IPM aggregates into Solution.CGIterations. Implementations honor ctx:
+// on cancellation they return an error satisfying errors.Is(err, ctx.Err()).
+type ATDASolve func(ctx context.Context, d, y []float64) ([]float64, int, error)
+
+// Bind adapts an ATDASolve into a context-free GramSolve (as consumed by
+// the leverage-score computations), discarding the iteration count.
+func (f ATDASolve) Bind(ctx context.Context) GramSolve {
+	return func(d, y []float64) ([]float64, error) {
+		x, _, err := f(ctx, d, y)
+		return x, err
+	}
+}
 
 // Problem is the LP  min cᵀx  s.t.  Aᵀx = b,  l ≤ x ≤ u  (Section 4's
 // convention: A ∈ R^{m×n} with rank n, so n plays the role of the vertex

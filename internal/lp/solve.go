@@ -1,12 +1,19 @@
 package lp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"bcclap/internal/linalg"
 	"bcclap/internal/sim"
 )
+
+// ErrInfeasible is returned (wrapped) when the supplied starting point is
+// not strictly feasible for the problem: outside the box interior or
+// violating the equality constraints. Callers detect it with errors.Is.
+var ErrInfeasible = errors.New("lp: starting point is not strictly feasible")
 
 // Params tunes LPSolve. Zero values select practical defaults that keep
 // the paper's asymptotic shapes (see the package comment).
@@ -37,6 +44,11 @@ type Params struct {
 	MaxPathSteps int
 	// InitWeightSteps caps the Algorithm 8 homotopy length.
 	InitWeightSteps int
+	// Progress, if non-nil, is invoked after every path step with the phase
+	// (1 = artificial cost, 2 = true cost), the cumulative path-step count
+	// and the current path parameter t. Observability only; it must be fast
+	// and must not mutate solver state.
+	Progress func(phase, step int, t float64)
 }
 
 func (p Params) withDefaults(n int) Params {
@@ -74,6 +86,9 @@ func (p Params) withDefaults(n int) Params {
 type Solution struct {
 	// X is the final (strictly feasible) iterate.
 	X []float64
+	// Weights is the final regularized Lewis weight vector; feeding it back
+	// through Session.Polish warm-starts a re-solve of the same problem.
+	Weights []float64
 	// Objective is cᵀX.
 	Objective float64
 	// PathSteps counts t-updates across both phases (the quantity
@@ -81,17 +96,52 @@ type Solution struct {
 	PathSteps int
 	// Centerings counts CenteringInexact invocations.
 	Centerings int
-	// Rounds is the simulator round count consumed (0 without a network).
+	// CGIterations accumulates the inner iterations of the projection
+	// (AᵀDA)-solves across all centerings (0 for the dense backend).
+	CGIterations int
+	// Rounds is the simulator round count consumed by this solve (0 without
+	// a network).
 	Rounds int
+}
+
+// scratch holds the centering buffers, allocated once per problem shape and
+// reused across every path step — and, through a Session, across solves
+// (the IPM performs Õ(√n) centerings; per-step allocation was the dominant
+// garbage source before the LinOp refactor). Every buffer is fully written
+// before it is read in each centering, so reuse never leaks state between
+// solves and results stay bit-identical to a fresh allocation.
+type scratch struct {
+	phi1, phi2, phi2New []float64 // barrier derivatives at x / xNew
+	q, pq               []float64 // centrality direction and projection
+	dx, xNew            []float64 // Newton step
+	base, z, dvec, grad []float64 // weight-update intermediates
+	l, wNew             []float64 // mixed-ball radii, next weights
+	tmp, rhs, asol      []float64 // applyProjection temporaries
+}
+
+// newScratch sizes the reusable centering buffers for an m×n problem.
+func newScratch(m, n int) *scratch {
+	v := func(k int) []float64 { return make([]float64, k) }
+	s := &scratch{}
+	s.phi1, s.phi2, s.phi2New = v(m), v(m), v(m)
+	s.q, s.pq = v(m), v(m)
+	s.dx, s.xNew = v(m), v(m)
+	s.base, s.z, s.dvec, s.grad = v(m), v(m), v(m), v(m)
+	s.l, s.wNew = v(m), v(m)
+	s.tmp, s.asol = v(m), v(m)
+	s.rhs = v(n)
+	return s
 }
 
 // ipm carries one solver run.
 type ipm struct {
-	prob *Problem
-	bar  *Barriers
-	par  Params
-	lev  LeverageFn
-	sol  ATDASolve
+	ctx   context.Context
+	prob  *Problem
+	bar   *Barriers
+	par   Params
+	lev   LeverageFn
+	sol   ATDASolve
+	phase int // 1 = artificial cost, 2 = true cost, 3 = polish
 
 	m, n   int
 	p      float64 // Lewis exponent 1 − 1/log(4m)
@@ -101,127 +151,42 @@ type ipm struct {
 	etaW   float64 // weight-update precision (practical e^R − 1)
 	counts Solution
 
-	// Centering scratch, allocated once in Solve and reused across every
-	// path step (the IPM performs Õ(√n) of them; per-step allocation was
-	// the dominant garbage source before the LinOp refactor).
-	scr struct {
-		phi1, phi2, phi2New []float64 // barrier derivatives at x / xNew
-		q, pq               []float64 // centrality direction and projection
-		dx, xNew            []float64 // Newton step
-		base, z, dvec, grad []float64 // weight-update intermediates
-		l, wNew             []float64 // mixed-ball radii, next weights
-		tmp, rhs, asol      []float64 // applyProjection temporaries
-	}
+	scr *scratch
 }
 
-// initScratch sizes the reusable centering buffers.
-func (s *ipm) initScratch() {
-	m, n := s.m, s.n
-	v := func(k int) []float64 { return make([]float64, k) }
-	s.scr.phi1, s.scr.phi2, s.scr.phi2New = v(m), v(m), v(m)
-	s.scr.q, s.scr.pq = v(m), v(m)
-	s.scr.dx, s.scr.xNew = v(m), v(m)
-	s.scr.base, s.scr.z, s.scr.dvec, s.scr.grad = v(m), v(m), v(m), v(m)
-	s.scr.l, s.scr.wNew = v(m), v(m)
-	s.scr.tmp, s.scr.asol = v(m), v(m)
-	s.scr.rhs = v(n)
-}
-
-// Solve runs LPSolve (Algorithm 9): center x0 against the artificial cost
-// d = −w·φ′(x0) down to a tiny t₁, then follow the weighted central path
-// for the true cost up to t₂ = 2m/ε. The returned point satisfies
-// Aᵀx = b, l < x < u and (for converged runs) cᵀx ≤ OPT + O(ε).
+// Solve runs LPSolve (Algorithm 9) without cancellation; see SolveCtx.
 func Solve(prob *Problem, x0 []float64, eps float64, par Params) (*Solution, error) {
-	if err := prob.Validate(); err != nil {
-		return nil, err
-	}
-	if eps <= 0 {
-		return nil, fmt.Errorf("lp: eps must be positive, got %g", eps)
-	}
-	m, n := prob.M(), prob.N()
-	bar, err := NewBarriers(prob.L, prob.U)
-	if err != nil {
-		return nil, err
-	}
-	if len(x0) != m {
-		return nil, fmt.Errorf("lp: x0 has %d entries, want %d", len(x0), m)
-	}
-	if !bar.Interior(x0) {
-		return nil, fmt.Errorf("lp: x0 is not strictly interior")
-	}
-	if r := prob.Residual(x0); r > 1e-6*(1+linalg.Norm2(prob.B)) {
-		return nil, fmt.Errorf("lp: x0 violates Aᵀx = b by %g", r)
-	}
-	par = par.withDefaults(n)
+	return SolveCtx(context.Background(), prob, x0, eps, par)
+}
 
-	s := &ipm{
-		prob: prob, bar: bar, par: par,
-		m: m, n: n,
-		p:  1 - 1/math.Log(4*float64(m)),
-		c0: float64(n) / (2 * float64(m)),
-		cK: 2 * math.Log(4*float64(m)),
-	}
-	s.cNorm = 24 * math.Sqrt(4*s.cK)
-	s.etaW = 0.1
-	s.sol, err = prob.solver()
+// SolveCtx runs LPSolve (Algorithm 9): center x0 against the artificial
+// cost d = −w·φ′(x0) down to a tiny t₁, then follow the weighted central
+// path for the true cost up to t₂ = 2m/ε. The returned point satisfies
+// Aᵀx = b, l < x < u and (for converged runs) cᵀx ≤ OPT + O(ε).
+//
+// ctx is checked at every outer path step and inside the CG/Chebyshev
+// kernels of the linear-solve backends; on cancellation or deadline the
+// error satisfies errors.Is(err, ctx.Err()). One-shot callers pay the
+// backend/scratch construction every call — use a Session to amortize it.
+func SolveCtx(ctx context.Context, prob *Problem, x0 []float64, eps float64, par Params) (*Solution, error) {
+	sess, err := NewSession(prob)
 	if err != nil {
 		return nil, err
 	}
-	s.initScratch()
-	s.lev = NewLeverageFn(prob.A, s.sol, par.ExactLeverage, par.LeverageEta, par.Seed)
-
-	// Initial regularized Lewis weights (Algorithm 9 line 1).
-	base := make([]float64, m)
-	phi2 := bar.D2(x0)
-	for i := range base {
-		base[i] = 1 / math.Sqrt(phi2[i])
-	}
-	w, _, err := ComputeInitialWeights(s.lev, base, s.p, n, m, par.Lewis, par.InitWeightSteps)
-	if err != nil {
-		return nil, fmt.Errorf("lp: initial weights: %w", err)
-	}
-	for i := range w {
-		w[i] += s.c0
-	}
-
-	// Artificial centering cost: with d = −w·φ′(x0) the point x0 is exactly
-	// central at t = 1 (the gradient t·d + w·φ′ vanishes).
-	d := make([]float64, m)
-	phi1 := bar.D1(x0)
-	for i := range d {
-		d[i] = -w[i] * phi1[i]
-	}
-	bigU := prob.BoundU(x0)
-	t1 := 1 / (16 * math.Pow(float64(m), 1.5) * bigU * bigU)
-	t2 := 2 * float64(m) / eps
-
-	x := linalg.Clone(x0)
-	x, w, err = s.pathFollowing(x, w, 1, t1, d)
-	if err != nil {
-		return nil, fmt.Errorf("lp: phase 1: %w", err)
-	}
-	x, w, err = s.pathFollowing(x, w, t1, t2, prob.C)
-	if err != nil {
-		return nil, fmt.Errorf("lp: phase 2: %w", err)
-	}
-	_ = w
-	// x is an internal scratch buffer; the Solution must own its iterate.
-	s.counts.X = linalg.Clone(x)
-	s.counts.Objective = prob.Objective(x)
-	if par.Net != nil {
-		s.counts.Rounds = par.Net.Rounds()
-	}
-	out := s.counts
-	return &out, nil
+	return sess.Solve(ctx, x0, eps, par)
 }
 
 // pathFollowing implements Algorithm 10: alternate centering and
 // multiplicative t-steps clamped by median to t_end, then polish with
-// FinalCenterings extra centerings at t_end.
+// FinalCenterings extra centerings at t_end. The context is polled once
+// per outer iteration, so cancellation surfaces within one path step.
 func (s *ipm) pathFollowing(x, w []float64, tStart, tEnd float64, c []float64) ([]float64, []float64, error) {
 	t := tStart
 	var err error
 	for t != tEnd {
+		if err := s.ctx.Err(); err != nil {
+			return x, w, fmt.Errorf("lp: canceled after %d path steps: %w", s.counts.PathSteps, err)
+		}
 		if s.counts.PathSteps >= s.par.MaxPathSteps {
 			return x, w, fmt.Errorf("lp: exceeded %d path steps (t = %g, target %g)", s.par.MaxPathSteps, t, tEnd)
 		}
@@ -231,8 +196,14 @@ func (s *ipm) pathFollowing(x, w []float64, tStart, tEnd float64, c []float64) (
 		}
 		t = linalg.Median3((1-s.par.Alpha)*t, tEnd, (1+s.par.Alpha)*t)
 		s.counts.PathSteps++
+		if s.par.Progress != nil {
+			s.par.Progress(s.phase, s.counts.PathSteps, t)
+		}
 	}
 	for i := 0; i < s.par.FinalCenterings; i++ {
+		if err := s.ctx.Err(); err != nil {
+			return x, w, fmt.Errorf("lp: canceled during final centerings: %w", err)
+		}
 		x, w, err = s.center(x, w, tEnd, c)
 		if err != nil {
 			return x, w, err
@@ -269,7 +240,7 @@ func (s *ipm) center(x, w []float64, t float64, c []float64) ([]float64, []float
 // toward the fresh approximate Lewis weights, steered through the
 // mixed-norm-ball projection.
 //
-// The returned x and w slices are the ipm's reusable scratch buffers (every
+// The returned x and w slices are the reusable scratch buffers (every
 // write is elementwise against the same index of the inputs, so aliasing
 // across successive calls is safe); Solve clones the final iterate before
 // handing it to the caller.
@@ -376,7 +347,8 @@ func (s *ipm) applyProjection(q, w, phi2 []float64) ([]float64, error) {
 	for i := 0; i < m; i++ {
 		tmp[i] = 1 / (w[i] * phi2[i])
 	}
-	sol, err := s.sol(tmp, s.scr.rhs)
+	sol, iters, err := s.sol(s.ctx, tmp, s.scr.rhs)
+	s.counts.CGIterations += iters
 	if err != nil {
 		return nil, fmt.Errorf("lp: projection solve: %w", err)
 	}

@@ -1,0 +1,108 @@
+package bcclap
+
+// Functional options shared by every session constructor (NewFlowSolver,
+// NewLPSolver, NewLaplacianSession, SparsifyGraph). Options that do not
+// apply to a given entry point are ignored, so one option slice can
+// configure a whole pipeline.
+
+// Event is a progress notification delivered to WithProgress callbacks.
+type Event struct {
+	// Stage identifies the pipeline stage: "attempt" (a fresh flow
+	// perturbation attempt starts), "path-step" (one interior-point
+	// t-update completed).
+	Stage string
+	// Attempt is the flow perturbation attempt (Stage "attempt").
+	Attempt int
+	// Phase is the path-following phase for Stage "path-step": 1 =
+	// artificial cost, 2 = true cost, 3 = warm-start polish.
+	Phase int
+	// Step is the cumulative path-step count (Stage "path-step").
+	Step int
+	// T is the current path parameter (Stage "path-step").
+	T float64
+}
+
+// Option configures a session constructor.
+type Option func(*config)
+
+// config is the resolved option set.
+type config struct {
+	backend        string
+	seed           int64
+	net            *Network
+	tol            float64
+	retries        int
+	progress       func(Event)
+	sparsifyParams SparsifyParams
+	lpParams       LPParams
+}
+
+func applyOptions(opts []Option) config {
+	var cfg config
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return cfg
+}
+
+// WithBackend selects the AᵀDA linear-solve strategy by registry name
+// ("dense", "gremban", "csr-cg", …; FlowBackends lists them). An unknown
+// name makes the session constructor fail fast with ErrBackendUnknown.
+// Applies to NewFlowSolver and NewLPSolver.
+func WithBackend(name string) Option {
+	return func(c *config) { c.backend = name }
+}
+
+// WithSeed fixes the seed driving all randomness (perturbations,
+// sparsifier sampling, sketching). Sessions derive per-query streams from
+// it deterministically: the same seed replays bit-identical runs. Applies
+// to every entry point.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithNetwork attaches a round-accounting simulator network; Stats.Rounds
+// then reports the rounds consumed by each solve. Applies to every entry
+// point.
+func WithNetwork(net *Network) Option {
+	return func(c *config) { c.net = net }
+}
+
+// WithTolerance overrides the target accuracy: the LP objective tolerance
+// for flow sessions (default 0.25, which the rounding theory needs — only
+// lower it if you know the rounding margin) and the default ε for
+// Laplacian solves. Applies to NewFlowSolver, NewLPSolver and
+// NewLaplacianSession.
+func WithTolerance(eps float64) Option {
+	return func(c *config) { c.tol = eps }
+}
+
+// WithRetries caps the flow pipeline's perturbation attempts (default 5).
+// Applies to NewFlowSolver.
+func WithRetries(n int) Option {
+	return func(c *config) { c.retries = n }
+}
+
+// WithProgress registers a callback receiving per-attempt and per-path-step
+// Events. The callback runs synchronously on the solver goroutine: keep it
+// fast, and do not call back into the session. Canceling the solve's
+// context from inside the callback is the supported way to abort on a
+// progress condition. Applies to NewFlowSolver and NewLPSolver.
+func WithProgress(fn func(Event)) Option {
+	return func(c *config) { c.progress = fn }
+}
+
+// WithLPParams overrides the interior-point parameters (step size,
+// centering tolerances, leverage sketching). Applies to NewFlowSolver and
+// NewLPSolver.
+func WithLPParams(par LPParams) Option {
+	return func(c *config) { c.lpParams = par }
+}
+
+// WithSparsifyParams overrides the sparsifier parameters (bundle size,
+// stretch, iterations). Applies to SparsifyGraph and NewLaplacianSession.
+func WithSparsifyParams(par SparsifyParams) Option {
+	return func(c *config) { c.sparsifyParams = par }
+}

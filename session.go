@@ -1,0 +1,268 @@
+package bcclap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bcclap/internal/flow"
+	"bcclap/internal/lapsolver"
+	"bcclap/internal/lp"
+)
+
+// seededRand is the deterministic stream constructor shared by the session
+// layer.
+func seededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Stats is the unified per-solve observability record surfaced identically
+// by flow, LP and Laplacian sessions. Fields that do not apply to a given
+// solver are zero.
+type Stats struct {
+	// PathSteps counts interior-point t-updates (the Õ(√n·log(U/ε)) of
+	// Theorems 1.1/1.4); 0 for Laplacian solves and warm-started batch
+	// queries (which skip path following entirely).
+	PathSteps int
+	// Centerings counts CenteringInexact invocations.
+	Centerings int
+	// CGIterations accumulates inner iterations of the linear-solve
+	// kernels: projection-solve CG for flow/LP sessions, Chebyshev plus
+	// safeguard CG for Laplacian sessions.
+	CGIterations int
+	// Attempts is the number of fresh flow perturbation attempts (0 for a
+	// warm-started batch query).
+	Attempts int
+	// Rounds is the simulated round cost of this solve (0 without a
+	// network attached via WithNetwork).
+	Rounds int
+	// WallTime is the measured duration of this solve.
+	WallTime time.Duration
+	// ReusedPreprocessing reports that query-independent work (flow-LP
+	// formulation + backend workspaces, or the Laplacian sparsifier) was
+	// reused from an earlier call on this session.
+	ReusedPreprocessing bool
+	// WarmStarted reports that a batch query re-centered the previous
+	// certified solution instead of re-running path following.
+	WarmStarted bool
+	// Backend is the AᵀDA backend name in use (flow/LP sessions).
+	Backend string
+}
+
+// FlowQuery is one (source, sink) pair for FlowSolver.SolveBatch.
+type FlowQuery struct {
+	S, T int
+}
+
+// FlowSolver is a reusable min-cost max-flow session (Theorem 1.1 as a
+// service): NewFlowSolver ingests the digraph once, and each queried
+// terminal pair lazily builds — then caches — the Section 5 LP
+// formulation, CSR constraint structure and linear-solve backend
+// workspaces, so repeated and batched queries pay only for the
+// interior-point iterations. Every returned flow is certified exact
+// (feasibility, maximality, cost optimality) before being returned.
+//
+// A FlowSolver is not safe for concurrent use; serve a sequential query
+// stream per solver (matching the model: one network, one round
+// structure).
+type FlowSolver struct {
+	inner   *flow.Solver
+	backend string
+}
+
+// NewFlowSolver builds a session over d. Construction fails fast on an
+// empty digraph (ErrBadQuery) and on an unknown WithBackend name
+// (ErrBackendUnknown, listing FlowBackends()); it does no numerical work.
+func NewFlowSolver(d *Digraph, opts ...Option) (*FlowSolver, error) {
+	cfg := applyOptions(opts)
+	fopts := flow.Options{
+		Backend: cfg.backend,
+		Eps:     cfg.tol,
+		Retries: cfg.retries,
+		// Offset matches the historical MinCostMaxFlow stream so sessions
+		// reproduce one-shot results bit for bit (for every seed value —
+		// flow takes the seed by pointer, so there is no sentinel).
+		Seed: flow.SeedOf(cfg.seed + 11),
+		Net:  cfg.net,
+		LP:   cfg.lpParams,
+	}
+	if cfg.progress != nil {
+		prg := cfg.progress
+		fopts.Progress = func(attempt int) {
+			prg(Event{Stage: "attempt", Attempt: attempt})
+		}
+		fopts.LP.Progress = func(phase, step int, t float64) {
+			prg(Event{Stage: "path-step", Phase: phase, Step: step, T: t})
+		}
+	}
+	inner, err := flow.NewSolver(d, fopts)
+	if err != nil {
+		return nil, err
+	}
+	backend := cfg.backend
+	if backend == "" {
+		backend = "dense"
+	}
+	return &FlowSolver{inner: inner, backend: backend}, nil
+}
+
+// Solve answers one (s, t) query under ctx. Malformed queries return
+// ErrBadQuery before any solve work; cancellation aborts within one
+// path-following iteration with an error satisfying
+// errors.Is(err, ctx.Err()). Sequential Solve calls are deterministic:
+// they produce bit-identical results to fresh one-shot calls with the
+// same seed.
+func (fs *FlowSolver) Solve(ctx context.Context, s, t int) (*FlowResult, error) {
+	res, err := fs.inner.Solve(ctx, s, t)
+	if err != nil {
+		return nil, err
+	}
+	return fs.newResult(res), nil
+}
+
+// SolveBatch answers a sequence of queries, validating all terminal pairs
+// up front (any malformed pair fails the batch with ErrBadQuery before
+// work starts). Repeated terminal pairs warm-start from the previous
+// certified solution — skipping path following, which is where batch
+// amortization comes from — and fall back to a cold solve whenever the
+// exactness certificate rejects the shortcut, so batch answers are exactly
+// as certified as single-query answers.
+func (fs *FlowSolver) SolveBatch(ctx context.Context, queries []FlowQuery) ([]*FlowResult, error) {
+	qs := make([]flow.Query, len(queries))
+	for i, q := range queries {
+		qs[i] = flow.Query{S: q.S, T: q.T}
+	}
+	results, err := fs.inner.SolveBatch(ctx, qs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*FlowResult, len(results))
+	for i, res := range results {
+		out[i] = fs.newResult(res)
+	}
+	return out, nil
+}
+
+func (fs *FlowSolver) newResult(res *flow.Result) *FlowResult {
+	return &FlowResult{
+		Value:     res.Value,
+		Cost:      res.Cost,
+		Flows:     res.Flows,
+		PathSteps: res.LPStats.PathSteps,
+		Rounds:    res.Rounds,
+		Stats: Stats{
+			PathSteps:           res.LPStats.PathSteps,
+			Centerings:          res.LPStats.Centerings,
+			CGIterations:        res.LPStats.CGIterations,
+			Attempts:            res.Attempts,
+			Rounds:              res.Rounds,
+			WallTime:            res.WallTime,
+			ReusedPreprocessing: res.ReusedForm,
+			WarmStarted:         res.WarmStarted,
+			Backend:             fs.backend,
+		},
+	}
+}
+
+// LPSolver is a reusable session for one linear program: the linear-solve
+// backend and interior-point scratch are built once by NewLPSolver and
+// shared by every Solve call. Not safe for concurrent use.
+type LPSolver struct {
+	sess    *lp.Session
+	cfg     config
+	backend string
+	used    bool
+}
+
+// NewLPSolver validates prob and builds the session. WithBackend overrides
+// prob.Backend; unknown names fail here with ErrBackendUnknown.
+func NewLPSolver(prob *LPProblem, opts ...Option) (*LPSolver, error) {
+	cfg := applyOptions(opts)
+	if cfg.backend != "" {
+		if err := lp.ValidateBackend(cfg.backend); err != nil {
+			return nil, err
+		}
+		prob.Backend = cfg.backend
+	}
+	sess, err := lp.NewSession(prob)
+	if err != nil {
+		return nil, err
+	}
+	backend := prob.Backend
+	if backend == "" && prob.Solve == nil {
+		backend = lp.DefaultBackend
+	}
+	return &LPSolver{sess: sess, cfg: cfg, backend: backend}, nil
+}
+
+// Solve runs the Theorem 1.4 path-following method from the strictly
+// feasible x0 to objective accuracy eps under ctx. An x0 outside the
+// strict interior (or violating Aᵀx = b) returns ErrInfeasible.
+func (l *LPSolver) Solve(ctx context.Context, x0 []float64, eps float64) (*LPSolution, Stats, error) {
+	par := l.cfg.lpParams
+	par.Net = l.cfg.net
+	if par.Seed == 0 {
+		par.Seed = l.cfg.seed
+	}
+	if l.cfg.progress != nil {
+		prg := l.cfg.progress
+		par.Progress = func(phase, step int, t float64) {
+			prg(Event{Stage: "path-step", Phase: phase, Step: step, T: t})
+		}
+	}
+	start := time.Now()
+	sol, err := l.sess.Solve(ctx, x0, eps, par)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	st := Stats{
+		PathSteps:           sol.PathSteps,
+		Centerings:          sol.Centerings,
+		CGIterations:        sol.CGIterations,
+		Rounds:              sol.Rounds,
+		WallTime:            time.Since(start),
+		ReusedPreprocessing: l.used,
+		Backend:             l.backend,
+	}
+	l.used = true
+	return sol, st, nil
+}
+
+// NewLaplacianSession is the options form of NewLaplacianSolver: it runs
+// the one-time sparsifier preprocessing of Theorem 1.3 on g (connected,
+// else ErrDisconnected) and returns a handle that answers repeated
+// right-hand sides. WithSeed, WithNetwork and WithSparsifyParams apply.
+func NewLaplacianSession(g *Graph, opts ...Option) (*LaplacianSolver, error) {
+	cfg := applyOptions(opts)
+	s, err := lapsolver.New(g, lapsolver.Config{
+		Sparsify: cfg.sparsifyParams,
+		Rand:     seededRand(cfg.seed + 3),
+		Net:      cfg.net,
+	})
+	if err != nil {
+		if errors.Is(err, lapsolver.ErrDisconnected) {
+			return nil, fmt.Errorf("bcclap: %w", ErrDisconnected)
+		}
+		return nil, err
+	}
+	return &LaplacianSolver{inner: s}, nil
+}
+
+// SolveCtx answers one (b, ε) instance under ctx, reusing the
+// preprocessed sparsifier: O(log(1/ε)) preconditioned Chebyshev
+// iterations, cancelable between iterations with an error satisfying
+// errors.Is(err, ctx.Err()).
+func (s *LaplacianSolver) SolveCtx(ctx context.Context, b []float64, eps float64) ([]float64, Stats, error) {
+	start := time.Now()
+	y, st, err := s.inner.SolveCtx(ctx, b, eps)
+	stats := Stats{
+		CGIterations:        st.Iterations,
+		Rounds:              st.Rounds,
+		WallTime:            time.Since(start),
+		ReusedPreprocessing: true,
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	return y, stats, nil
+}
