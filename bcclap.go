@@ -41,8 +41,28 @@
 //
 // Sessions are deterministic — sequential Solve calls on one FlowSolver
 // produce bit-identical results to fresh one-shot calls with the same
-// seed — and single-goroutine: serve a sequential query stream per
-// session.
+// seed — and single-goroutine by default: serve a sequential query stream
+// per session.
+//
+// # Concurrent serving
+//
+// WithPoolSize(n) backs a FlowSolver with a sharded pool of n independent
+// worker sessions (each owning its own backend workspaces, so the
+// allocation-free hot paths stay race-free without locks). The solver then
+// accepts Solve and SolveBatch from any number of goroutines, and
+// SolveBatch fans out across the workers with bounded concurrency.
+// Queries are routed by terminal pair — every pair always runs on the same
+// worker, in submission order — so pooled results, warm starts included,
+// are bit-identical to the sequential path. WithShards controls the
+// terminal-pair sharding; Drain and Close shut the pool down gracefully or
+// immediately, and PoolStats exposes the serving counters:
+//
+//	solver, err := bcclap.NewFlowSolver(d, bcclap.WithPoolSize(8))
+//	defer solver.Close()
+//	results, err := solver.SolveBatch(ctx, queries) // fans out, certified
+//
+// cmd/bcclap-serve wraps a pooled solver in an HTTP/JSON daemon (load a
+// network once, answer certified flow queries until drained).
 //
 // Every entry point optionally runs against the round-accounting simulator
 // in internal/sim so that the paper's round-complexity claims can be

@@ -9,6 +9,7 @@ package bcclap
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"math"
 	"math/rand"
 	"os"
@@ -644,6 +645,159 @@ func TestBenchSessionSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_session.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// benchPoolInstance is the fixed instance and query mix shared by the
+// pool benchmark and the BENCH_pool.json snapshot: a handful of distinct
+// terminal pairs (cold solves, which fan out) each queried twice (the
+// repeat warm-starts inside its worker).
+func benchPoolInstance(tb testing.TB) (*graph.Digraph, []FlowQuery) {
+	tb.Helper()
+	rnd := rand.New(rand.NewSource(19))
+	d := graph.RandomFlowNetwork(6, 0.35, 3, 3, rnd)
+	var pairs []FlowQuery
+	for s := 0; s < d.N() && len(pairs) < 3; s++ {
+		for t := d.N() - 1; t > s && len(pairs) < 3; t-- {
+			if v, _, _, err := flow.MinCostMaxFlowSSP(d, s, t); err == nil && v > 0 {
+				pairs = append(pairs, FlowQuery{S: s, T: t})
+			}
+		}
+	}
+	if len(pairs) < 2 {
+		tb.Fatalf("instance too sparse: %d usable pairs", len(pairs))
+	}
+	var queries []FlowQuery
+	for _, p := range pairs {
+		queries = append(queries, p, p)
+	}
+	return d, queries
+}
+
+// E18 — concurrent serving: batch throughput through the session pool vs
+// pool size. Distinct terminal pairs solve concurrently on independent
+// worker sessions; on a multi-core host the batch wall time drops with
+// the pool size until GOMAXPROCS saturates (see BENCH_pool.json).
+func BenchmarkE18PoolBatch(b *testing.B) {
+	d, queries := benchPoolInstance(b)
+	ctx := context.Background()
+	for _, size := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("pool-%d", size), func(b *testing.B) {
+			opts := []Option{WithSeed(7)}
+			if size > 1 {
+				opts = append(opts, WithPoolSize(size))
+			}
+			fs, err := NewFlowSolver(d, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer fs.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fs.SolveBatch(ctx, queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestBenchPoolSnapshot regenerates BENCH_pool.json, the committed
+// snapshot of batch throughput through the session pool vs the sequential
+// SolveBatch baseline (set BENCH_SNAPSHOT=1 to refresh). Correctness is
+// gated unconditionally — pooled (value, cost) must equal sequential on
+// every query. The throughput gate adapts to the host: with more than one
+// CPU the widest pool must beat the sequential baseline; on a single-CPU
+// host (like the committed snapshot's) pooling cannot help, so the gate
+// only rejects pathological overhead (< 0.5× sequential throughput).
+func TestBenchPoolSnapshot(t *testing.T) {
+	if os.Getenv("BENCH_SNAPSHOT") == "" {
+		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_pool.json")
+	}
+	d, queries := benchPoolInstance(t)
+	ctx := context.Background()
+
+	seq, err := NewFlowSolver(d, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seq.SolveBatch(ctx, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measure := func(fs *FlowSolver) (nsPerBatch int64) {
+		return benchMedian(func() {
+			got, err := fs.SolveBatch(ctx, queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i].Value != want[i].Value || got[i].Cost != want[i].Cost {
+					t.Fatalf("query %d: pooled (%d, %d) vs sequential (%d, %d)",
+						i, got[i].Value, got[i].Cost, want[i].Value, want[i].Cost)
+				}
+			}
+		}).Nanoseconds()
+	}
+
+	sizes := []int{1, 2, 4}
+	perSize := map[string]any{}
+	qps := map[int]float64{}
+	for _, size := range sizes {
+		opts := []Option{WithSeed(7)}
+		if size > 1 {
+			opts = append(opts, WithPoolSize(size))
+		}
+		fs, err := NewFlowSolver(d, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns := measure(fs)
+		fs.Close()
+		qps[size] = float64(len(queries)) / (float64(ns) / 1e9)
+		perSize[fmt.Sprintf("pool_%d", size)] = map[string]any{
+			"batch_ns":          ns,
+			"queries_per_sec":   qps[size],
+			"speedup_vs_pool_1": float64(0), // filled below
+		}
+	}
+	for _, size := range sizes {
+		perSize[fmt.Sprintf("pool_%d", size)].(map[string]any)["speedup_vs_pool_1"] = qps[size] / qps[1]
+	}
+	widest := sizes[len(sizes)-1]
+	if runtime.NumCPU() > 1 {
+		if qps[widest] <= qps[1] {
+			t.Errorf("pool-%d throughput %.2f q/s does not beat sequential %.2f q/s on %d CPUs",
+				widest, qps[widest], qps[1], runtime.NumCPU())
+		}
+	} else if qps[widest] < 0.5*qps[1] {
+		t.Errorf("pool-%d throughput %.2f q/s collapsed vs sequential %.2f q/s",
+			widest, qps[widest], qps[1])
+	}
+	note := "throughput scales with pool size up to GOMAXPROCS; regenerate locally to measure your host"
+	if runtime.NumCPU() == 1 {
+		note = "snapshot host has 1 CPU, so pooled ≈ sequential here (solves are CPU-bound); " +
+			"on multi-core hosts distinct-pair solves run in parallel and the gate requires " +
+			"pool-4 to beat sequential — regenerate locally to measure yours"
+	}
+	snap := map[string]any{
+		"generated_by": "BENCH_SNAPSHOT=1 go test -run TestBenchPoolSnapshot .",
+		"instance": map[string]any{
+			"graph_n": d.N(), "graph_m": d.M(),
+			"batch_len": len(queries), "distinct_pairs": len(queries) / 2,
+		},
+		"num_cpu":    runtime.NumCPU(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"note":       note,
+		"throughput": perSize,
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pool.json", append(buf, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
 }

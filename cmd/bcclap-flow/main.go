@@ -99,16 +99,9 @@ func readInstance(f *os.File) (*graph.Digraph, int, int, error) {
 	if _, err := fmt.Fscan(r, &n, &m, &s, &t); err != nil {
 		return nil, 0, 0, fmt.Errorf("read header: %w", err)
 	}
-	d := graph.NewDigraph(n)
-	for i := 0; i < m; i++ {
-		var u, v int
-		var c, q int64
-		if _, err := fmt.Fscan(r, &u, &v, &c, &q); err != nil {
-			return nil, 0, 0, fmt.Errorf("read arc %d: %w", i, err)
-		}
-		if _, err := d.AddArc(u, v, c, q); err != nil {
-			return nil, 0, 0, err
-		}
+	d, err := graph.ReadArcList(r, n, m)
+	if err != nil {
+		return nil, 0, 0, err
 	}
 	return d, s, t, nil
 }

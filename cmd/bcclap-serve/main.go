@@ -1,0 +1,317 @@
+// Command bcclap-serve is an always-on HTTP/JSON daemon serving certified
+// min-cost max-flow queries over one network (Theorem 1.1 as a service).
+// The network is loaded once at startup; queries are answered by a sharded
+// pool of solver sessions (-pool worker sessions, -shards terminal-pair
+// shards), so concurrent clients never share solver state and repeated
+// terminal pairs warm-start inside their shard.
+//
+// Endpoints:
+//
+//	POST /v1/flow        {"s": 0, "t": 5, "include_flows": true}
+//	POST /v1/flow/batch  {"queries": [{"s": 0, "t": 5}, ...]}
+//	GET  /v1/stats       pool and request counters
+//	GET  /healthz        liveness probe
+//
+// The network comes from -network FILE ("n m" header then m lines
+// "from to capacity cost") or -random N. SIGINT/SIGTERM drains gracefully:
+// the listener stops, in-flight solves finish (bounded by -drain-timeout),
+// then the pool shuts down.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"bcclap"
+	"bcclap/internal/graph"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	networkFile := flag.String("network", "", "network file: \"n m\" header then m lines \"from to capacity cost\"")
+	randomN := flag.Int("random", 0, "serve a random instance on N vertices instead of -network")
+	seed := flag.Int64("seed", 1, "random seed (instance generation and perturbations)")
+	backend := flag.String("backend", "", "AᵀDA solve backend: "+strings.Join(bcclap.FlowBackends(), ", ")+" (default dense)")
+	poolSize := flag.Int("pool", 4, "worker sessions in the solver pool")
+	shards := flag.Int("shards", 0, "terminal-pair shards (default: pool size)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request solve timeout (0 = no limit)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight solves")
+	flag.Parse()
+
+	if err := run(*addr, *networkFile, *randomN, *seed, *backend, *poolSize, *shards, *timeout, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "bcclap-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, networkFile string, randomN int, seed int64, backend string, poolSize, shards int, timeout, drainTimeout time.Duration) error {
+	if poolSize < 1 {
+		return fmt.Errorf("-pool must be at least 1, got %d", poolSize)
+	}
+	d, err := loadNetwork(networkFile, randomN, seed)
+	if err != nil {
+		return err
+	}
+	opts := []bcclap.Option{bcclap.WithSeed(seed), bcclap.WithBackend(backend), bcclap.WithPoolSize(poolSize)}
+	if shards > 0 {
+		opts = append(opts, bcclap.WithShards(shards))
+	}
+	solver, err := bcclap.NewFlowSolver(d, opts...)
+	if err != nil {
+		return err
+	}
+	s := newServer(solver, d, backend, timeout)
+
+	srv := &http.Server{Addr: addr, Handler: s.routes()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("bcclap-serve: listening on %s (n=%d m=%d pool=%d backend=%s)",
+			addr, d.N(), d.M(), solver.PoolSize(), s.backend)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		solver.Close()
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("bcclap-serve: draining (budget %v)", drainTimeout)
+	shCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("bcclap-serve: http shutdown: %v", err)
+	}
+	if err := solver.Drain(shCtx); err != nil {
+		log.Printf("bcclap-serve: pool drain: %v", err)
+		solver.Close()
+	}
+	log.Printf("bcclap-serve: stopped")
+	return nil
+}
+
+// loadNetwork reads the instance from a file or generates a random one.
+func loadNetwork(networkFile string, randomN int, seed int64) (*graph.Digraph, error) {
+	switch {
+	case networkFile != "" && randomN > 0:
+		return nil, errors.New("-network and -random are mutually exclusive")
+	case networkFile != "":
+		f, err := os.Open(networkFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return readNetwork(f)
+	case randomN > 0:
+		rnd := rand.New(rand.NewSource(seed))
+		return graph.RandomFlowNetwork(randomN, 0.3, 3, 3, rnd), nil
+	default:
+		return nil, errors.New("one of -network FILE or -random N is required")
+	}
+}
+
+// readNetwork parses "n m" then the shared arc-list format.
+func readNetwork(f *os.File) (*graph.Digraph, error) {
+	r := bufio.NewReader(f)
+	var n, m int
+	if _, err := fmt.Fscan(r, &n, &m); err != nil {
+		return nil, fmt.Errorf("read header: %w", err)
+	}
+	return graph.ReadArcList(r, n, m)
+}
+
+// server carries the daemon state shared by all request goroutines: the
+// pooled solver (concurrency-safe), the immutable network, and counters.
+type server struct {
+	solver  *bcclap.FlowSolver
+	d       *graph.Digraph
+	backend string
+	timeout time.Duration
+	started time.Time
+
+	requests atomic.Int64 // HTTP requests accepted
+	solved   atomic.Int64 // queries answered with a certified flow
+	failed   atomic.Int64 // queries that returned an error
+}
+
+func newServer(solver *bcclap.FlowSolver, d *graph.Digraph, backend string, timeout time.Duration) *server {
+	if backend == "" {
+		backend = "dense"
+	}
+	return &server{solver: solver, d: d, backend: backend, timeout: timeout, started: time.Now()}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/flow", s.handleFlow)
+	mux.HandleFunc("POST /v1/flow/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+type flowRequest struct {
+	S            int  `json:"s"`
+	T            int  `json:"t"`
+	IncludeFlows bool `json:"include_flows,omitempty"`
+}
+
+type batchRequest struct {
+	Queries      []flowRequest `json:"queries"`
+	IncludeFlows bool          `json:"include_flows,omitempty"`
+}
+
+// flowResponse is one certified answer plus its per-solve accountability
+// record (the Stats every scaling claim is audited against).
+type flowResponse struct {
+	S           int     `json:"s"`
+	T           int     `json:"t"`
+	Value       int64   `json:"value"`
+	Cost        int64   `json:"cost"`
+	PathSteps   int     `json:"path_steps"`
+	WarmStarted bool    `json:"warm_started"`
+	Reused      bool    `json:"reused_preprocessing"`
+	WallMS      float64 `json:"wall_ms"`
+	Flows       []int64 `json:"flows,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *server) solveCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
+}
+
+func (s *server) handleFlow(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req flowRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	ctx, cancel := s.solveCtx(r)
+	defer cancel()
+	res, err := s.solver.Solve(ctx, req.S, req.T)
+	if err != nil {
+		s.failed.Add(1)
+		writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
+		return
+	}
+	s.solved.Add(1)
+	writeJSON(w, http.StatusOK, s.response(req, res))
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch"})
+		return
+	}
+	queries := make([]bcclap.FlowQuery, len(req.Queries))
+	for i, q := range req.Queries {
+		queries[i] = bcclap.FlowQuery{S: q.S, T: q.T}
+	}
+	ctx, cancel := s.solveCtx(r)
+	defer cancel()
+	results, err := s.solver.SolveBatch(ctx, queries)
+	if err != nil {
+		s.failed.Add(int64(len(queries)))
+		writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
+		return
+	}
+	s.solved.Add(int64(len(results)))
+	out := make([]flowResponse, len(results))
+	for i, res := range results {
+		q := req.Queries[i]
+		q.IncludeFlows = q.IncludeFlows || req.IncludeFlows
+		out[i] = s.response(q, res)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+}
+
+func (s *server) response(req flowRequest, res *bcclap.FlowResult) flowResponse {
+	resp := flowResponse{
+		S:           req.S,
+		T:           req.T,
+		Value:       res.Value,
+		Cost:        res.Cost,
+		PathSteps:   res.PathSteps,
+		WarmStarted: res.Stats.WarmStarted,
+		Reused:      res.Stats.ReusedPreprocessing,
+		WallMS:      float64(res.Stats.WallTime.Microseconds()) / 1000,
+	}
+	if req.IncludeFlows {
+		resp.Flows = res.Flows
+	}
+	return resp
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	ps := s.solver.PoolStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"network":      map[string]any{"n": s.d.N(), "m": s.d.M()},
+		"backend":      s.backend,
+		"pool":         ps,
+		"requests":     s.requests.Load(),
+		"solved":       s.solved.Load(),
+		"failed":       s.failed.Load(),
+		"uptime_ms":    time.Since(s.started).Milliseconds(),
+		"timeout_ms":   s.timeout.Milliseconds(),
+		"warm_started": ps.WarmStarted,
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statusOf maps the session API's sentinel errors onto HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, bcclap.ErrBadQuery):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
+	case errors.Is(err, bcclap.ErrSolverClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("bcclap-serve: write response: %v", err)
+	}
+}

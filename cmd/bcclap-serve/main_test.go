@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bcclap"
+	"bcclap/internal/graph"
+)
+
+// newTestServer builds the daemon handler over a small random instance
+// with a 2-worker pool, exactly as main would.
+func newTestServer(t *testing.T) (*server, *graph.Digraph) {
+	t.Helper()
+	d := graph.RandomFlowNetwork(5, 0.35, 3, 3, rand.New(rand.NewSource(3)))
+	solver, err := bcclap.NewFlowSolver(d,
+		bcclap.WithSeed(3), bcclap.WithPoolSize(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(solver.Close)
+	return newServer(solver, d, "", 30*time.Second), d
+}
+
+// End-to-end acceptance: /healthz answers and /v1/flow returns the
+// certified (value, cost) the combinatorial baseline computes.
+func TestServeFlowEndToEnd(t *testing.T) {
+	s, d := newTestServer(t)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	st, tt := 0, d.N()-1
+	wantV, wantC, _, err := bcclap.MinCostMaxFlowBaseline(d, st, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(map[string]any{"s": st, "t": tt, "include_flows": true})
+	resp, err = http.Post(ts.URL+"/v1/flow", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/flow: status %d", resp.StatusCode)
+	}
+	var fr flowResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Value != wantV || fr.Cost != wantC {
+		t.Fatalf("served (%d, %d), baseline (%d, %d)", fr.Value, fr.Cost, wantV, wantC)
+	}
+	if len(fr.Flows) != d.M() {
+		t.Fatalf("include_flows: got %d arcs, want %d", len(fr.Flows), d.M())
+	}
+}
+
+// A batch request must answer every query, warm-starting repeats, and the
+// stats endpoint must reflect the pool's work.
+func TestServeBatchAndStats(t *testing.T) {
+	s, d := newTestServer(t)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	st, tt := 0, d.N()-1
+	wantV, wantC, _, err := bcclap.MinCostMaxFlowBaseline(d, st, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(map[string]any{
+		"queries": []map[string]int{{"s": st, "t": tt}, {"s": st, "t": tt}, {"s": st, "t": tt}},
+	})
+	resp, err := http.Post(ts.URL+"/v1/flow/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/flow/batch: status %d", resp.StatusCode)
+	}
+	var br struct {
+		Results []flowResponse `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 3 {
+		t.Fatalf("got %d results", len(br.Results))
+	}
+	warm := 0
+	for i, r := range br.Results {
+		if r.Value != wantV || r.Cost != wantC {
+			t.Fatalf("batch result %d: (%d, %d) vs baseline (%d, %d)", i, r.Value, r.Cost, wantV, wantC)
+		}
+		if r.WarmStarted {
+			warm++
+		}
+	}
+	if warm == 0 {
+		t.Fatal("no batch repeat warm-started")
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats["solved"].(float64); got < 3 {
+		t.Fatalf("stats solved=%v, want ≥ 3", got)
+	}
+	if _, ok := stats["pool"]; !ok {
+		t.Fatal("stats missing pool counters")
+	}
+}
+
+// Malformed queries and bodies must map onto 400, not 500.
+func TestServeErrorMapping(t *testing.T) {
+	s, d := newTestServer(t)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{"s": 2, "t": 2}`,
+		`{"s": -1, "t": 1}`,
+		`{"s": 0, "t": ` + jsonInt(d.N()) + `}`,
+		`not json`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/flow", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func jsonInt(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}

@@ -4,6 +4,7 @@ import (
 	"bcclap/internal/flow"
 	"bcclap/internal/lapsolver"
 	"bcclap/internal/lp"
+	"bcclap/internal/pool"
 )
 
 // Sentinel errors of the session API. Every error returned by a session
@@ -29,4 +30,9 @@ var (
 	// ErrInfeasible marks a starting point that is not strictly feasible
 	// for the LP (outside the box interior or violating Aᵀx = b).
 	ErrInfeasible = lp.ErrInfeasible
+
+	// ErrSolverClosed marks a query submitted to a pooled FlowSolver after
+	// Drain or Close began, or a queued query abandoned by an aborting
+	// shutdown.
+	ErrSolverClosed = pool.ErrClosed
 )

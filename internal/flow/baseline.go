@@ -1,14 +1,3 @@
-// Package flow implements minimum-cost maximum-flow (Section 5):
-//
-//   - the paper's pipeline: the auxiliary LP with slack variables y, z and
-//     flow variable F, Daitch–Spielman cost perturbation for uniqueness,
-//     the Lee–Sidford solver with (AᵀDA)-solves routed through the Gremban
-//     reduction to Laplacian systems (Lemma 5.1), and rounding back to an
-//     exact integral flow; and
-//   - classic combinatorial baselines (Dinic's max-flow and successive
-//     shortest paths with potentials) that the experiments compare against,
-//   - an exactness certificate (no augmenting path + no negative residual
-//     cycle) used both by the retry loop and the tests.
 package flow
 
 import (

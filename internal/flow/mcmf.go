@@ -210,6 +210,27 @@ func (fs *Solver) Solve(ctx context.Context, s, t int) (*Result, error) {
 	return fs.solve(ctx, Query{S: s, T: t}, false)
 }
 
+// Validate checks one terminal pair against the session's digraph without
+// doing any solve work, reporting the same ErrBadQuery conditions Solve
+// would. Unlike the solve methods it only reads the immutable digraph, so
+// it is safe to call concurrently with a solve running on this session
+// (the pool layer uses it to pre-validate batches).
+func (fs *Solver) Validate(q Query) error { return checkST(fs.d, q.S, q.T) }
+
+// SolveWarm answers one query with batch semantics: a repeat of a terminal
+// pair already certified on this session warm-starts from the previous
+// solution (re-centering at t₂ instead of re-running path following),
+// falling back to a cold solve whenever the exactness certificate rejects
+// the shortcut. It is the single-query unit SolveBatch — and the worker
+// sessions of internal/pool — are built from. Like Solve, it must only be
+// called from one goroutine at a time.
+func (fs *Solver) SolveWarm(ctx context.Context, q Query) (*Result, error) {
+	if err := checkST(fs.d, q.S, q.T); err != nil {
+		return nil, err
+	}
+	return fs.solve(ctx, q, true)
+}
+
 // SolveBatch answers a sequence of queries, validating every terminal pair
 // up front (a malformed query fails the whole batch before any work
 // starts). Repeated terminal pairs are warm-started: the solver re-centers

@@ -1,0 +1,17 @@
+// Package graph provides the graph substrate for the Laplacian-paradigm
+// pipeline: undirected weighted multigraphs (for the spanners, sparsifiers
+// and Laplacians of Sections 3–4), directed flow networks with integer
+// capacities and costs (for the Section 5 min-cost max-flow), generators
+// for the workloads used in the experiments, and basic graph algorithms
+// (BFS, Dijkstra, union-find, connectivity).
+//
+// Invariants:
+//
+//   - Graphs are append-only: algorithms upstream never mutate a graph
+//     after construction, which is why the session and pool layers can
+//     share one digraph across many solver sessions without locking.
+//   - Generators are deterministic in the *rand.Rand they are handed;
+//     replaying a seed replays the instance bit for bit.
+//   - Arc and edge indices are stable: Digraph.Arc(i) corresponds to
+//     position i of every flow vector the solvers return.
+package graph

@@ -1,8 +1,3 @@
-// Package graph provides the graph substrate for the Laplacian-paradigm
-// pipeline: undirected weighted graphs (for spanners, sparsifiers and
-// Laplacians), directed flow networks (for min-cost max-flow), generators
-// for the workloads used in the experiments, and basic graph algorithms
-// (BFS, Dijkstra, union-find, connectivity).
 package graph
 
 import (

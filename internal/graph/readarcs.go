@@ -1,0 +1,25 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// ReadArcList reads m whitespace-separated arc lines "from to capacity
+// cost" from r into a fresh digraph on n vertices — the on-disk arc
+// format shared by the CLIs (their headers differ, the arc list does
+// not). Pass a buffered reader; fmt.Fscan is used per field.
+func ReadArcList(r io.Reader, n, m int) (*Digraph, error) {
+	d := NewDigraph(n)
+	for i := 0; i < m; i++ {
+		var u, v int
+		var c, q int64
+		if _, err := fmt.Fscan(r, &u, &v, &c, &q); err != nil {
+			return nil, fmt.Errorf("read arc %d: %w", i, err)
+		}
+		if _, err := d.AddArc(u, v, c, q); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

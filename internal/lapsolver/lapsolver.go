@@ -1,15 +1,3 @@
-// Package lapsolver implements Laplacian and SDD solving in the Broadcast
-// Congested Clique (Sections 2.3, 3.3 and Lemma 5.1 of the paper):
-//
-//   - Solver: the Theorem 1.3 pipeline — preprocess a (1±1/2) spectral
-//     sparsifier H of G (which every vertex then knows), then answer each
-//     (b, ε) instance with preconditioned Chebyshev iteration
-//     (Theorem 2.3 / Corollary 2.4) in O(log(1/ε)) iterations, each costing
-//     one distributed multiplication by L_G plus a free internal solve in
-//     L_H.
-//   - SDDSolve: the Gremban reduction from symmetric diagonally dominant
-//     systems to a Laplacian system on twice as many vertices (Lemma 5.1),
-//     which the min-cost-flow LP needs for its AᵀDA solves.
 package lapsolver
 
 import (

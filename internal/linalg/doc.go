@@ -1,0 +1,24 @@
+// Package linalg provides the numerical linear-algebra substrate used by
+// the Laplacian-paradigm pipeline: dense and CSR sparse matrices, graph
+// Laplacians, the LinOp operator layer (diagonal, scaled, transposed and
+// composed operators that apply A, D, Aᵀ without materializing products),
+// conjugate-gradient and preconditioned Chebyshev solvers, and spectral
+// utilities (Rayleigh quotients, pencil bounds).
+//
+// Everything is float64 and stdlib-only. Vectors are plain []float64 so
+// they compose with the rest of the codebase without wrapper types.
+//
+// Invariants:
+//
+//   - Allocation-free kernels: the *To solver variants (CGTo,
+//     PreconditionedChebyshevTo, MulVecTo) write into caller-owned
+//     buffers and draw scratch from a Workspace arena, so a warmed-up
+//     solve allocates nothing — the property the session and pool layers
+//     are built around (one workspace per session, never shared).
+//   - Bit-for-bit parallel SpMV: the row-sharded CSR kernel sums each row
+//     in serial order, so its output is identical to the serial kernel
+//     for every shard count (property-tested and raced in CI).
+//   - Cancellation: the iterative solvers poll their context every 32
+//     iterations — frequent enough to abort within one outer
+//     path-following step, rare enough to keep the kernels branch-lean.
+package linalg

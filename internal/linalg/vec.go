@@ -1,10 +1,3 @@
-// Package linalg provides the numerical linear-algebra substrate used by the
-// Laplacian-paradigm pipeline: dense and CSR sparse matrices, graph
-// Laplacians, conjugate-gradient and preconditioned Chebyshev solvers, and
-// spectral utilities (Rayleigh quotients, pencil bounds).
-//
-// Everything is float64 and stdlib-only. Vectors are plain []float64 so they
-// compose with the rest of the codebase without wrapper types.
 package linalg
 
 import (

@@ -1,18 +1,3 @@
-// Package lp implements the linear program solver of Section 4: an
-// interior-point method following the Lee–Sidford weighted central path,
-// with regularized Lewis weights (Algorithms 7–8), inexact centering steps
-// (Algorithm 11), mixed-norm-ball projections (Lemma 4.10) and the two-phase
-// path-following driver LPSolve (Algorithms 9–10).
-//
-// Numerical notes. The paper's constants (R, α, t₁, bundle sizes …) are
-// chosen for the w.h.p. proofs and are astronomically conservative — with
-// them verbatim, a 10-variable LP would take ~10⁹ iterations. This
-// implementation keeps every algorithmic *shape* (α ∝ 1/√n path steps,
-// barrier + Lewis-weight machinery, projections, Johnson–Lindenstrauss
-// leverage scores) and exposes the aggressiveness through Params, so the
-// experiments can measure the √n iteration scaling of Theorem 1.4 while
-// still converging in float64. Deviations are local and documented at the
-// point they occur.
 package lp
 
 import (

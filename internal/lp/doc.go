@@ -1,0 +1,41 @@
+// Package lp implements the linear program solver of Section 4 of the
+// paper (Theorem 1.4): an interior-point method following the Lee–Sidford
+// weighted central path, with regularized Lewis weights (Algorithms 7–8),
+// inexact centering steps (Algorithm 11), mixed-norm-ball projections
+// (Lemma 4.10) and the two-phase path-following driver (Algorithms 9–10).
+//
+// The serving unit is Session, which binds one Problem to a linear-solve
+// backend and shared IPM scratch: Solve runs the full two-phase path
+// following, Polish re-centers a prior certified iterate at t₂ (the
+// warm-start shortcut batch flow queries use; its output is only as good
+// as the caller's certificate, by design).
+//
+// The per-step normal equations (AᵀDA)x = y go through a pluggable backend
+// registry ("dense", "gremban", "csr-cg"; ValidateBackend/Backends) shared
+// with the flow layer, so the same IPM scales from the exact dense
+// reference to matrix-free CG that never materializes AᵀDA.
+//
+// Invariants:
+//
+//   - Confinement: a Session is single-goroutine — its backend workspaces
+//     and centering scratch are reused across solves, which is what makes
+//     the hot path allocation-free after the first solve. Concurrent
+//     serving wraps one Session per worker (internal/pool), never a lock
+//     around one Session.
+//   - Determinism: results are bit-identical to one-shot solves — every
+//     scratch buffer is fully overwritten before it is read, and all
+//     randomness (leverage sketching) derives from Params.Seed.
+//   - Cancellation: the path-following loop checks its context every
+//     iteration and the inner CG every 32 iterations; an aborted solve
+//     returns an error satisfying errors.Is(err, ctx.Err()).
+//
+// Numerical notes. The paper's constants (R, α, t₁, bundle sizes …) are
+// chosen for the w.h.p. proofs and are astronomically conservative — with
+// them verbatim, a 10-variable LP would take ~10⁹ iterations. This
+// implementation keeps every algorithmic *shape* (α ∝ 1/√n path steps,
+// barrier + Lewis-weight machinery, projections, Johnson–Lindenstrauss
+// leverage scores) and exposes the aggressiveness through Params, so the
+// experiments can measure the √n iteration scaling of Theorem 1.4 while
+// still converging in float64. Deviations are local and documented at the
+// point they occur.
+package lp

@@ -1,0 +1,459 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bcclap/internal/flow"
+)
+
+// ErrClosed marks a query submitted after Close or Drain has begun, or a
+// queued query abandoned by an aborting shutdown.
+var ErrClosed = errors.New("pool: closed")
+
+// Session is the solver handle each worker goroutine owns exclusively.
+// *flow.Solver implements it; tests substitute instrumented fakes.
+type Session interface {
+	// Validate reports whether q is well-formed without doing solve work.
+	// It must be safe for concurrent use (read-only), unlike the solve
+	// methods, which the pool confines to the owning worker goroutine.
+	Validate(q flow.Query) error
+	// Solve answers one query with one-shot semantics (no warm start).
+	Solve(ctx context.Context, s, t int) (*flow.Result, error)
+	// SolveWarm answers one query with batch semantics: a repeated
+	// terminal pair warm-starts from the previous certified solve.
+	SolveWarm(ctx context.Context, q flow.Query) (*flow.Result, error)
+}
+
+var _ Session = (*flow.Solver)(nil)
+
+// Config sizes a Pool.
+type Config struct {
+	// Shards is the number of terminal-pair shards (default 1). A query's
+	// (s, t) pair hashes onto one shard, and every solve for that pair
+	// happens inside it, so each shard accumulates the warm-start caches
+	// of its slice of the terminal-pair space.
+	Shards int
+	// Workers is the total number of worker sessions (default: one per
+	// shard). Workers are distributed across shards as evenly as possible
+	// and every shard gets at least one, so the effective total is
+	// max(Workers, Shards) — never more. Within a shard a pair is pinned
+	// to a single worker by a second hash, so per-pair solve order — and
+	// with it warm-start reuse and bit-for-bit reproducibility — is
+	// preserved under fan-out.
+	Workers int
+	// New constructs the session owned by worker i. It is called once per
+	// worker during pool construction; each session must be independent
+	// (its own backend workspaces and scratch).
+	New func(i int) (Session, error)
+}
+
+// Stats is a point-in-time snapshot of the pool counters.
+type Stats struct {
+	// Shards and Workers echo the pool geometry (Workers is the total
+	// session count, Shards × WorkersPerShard).
+	Shards, Workers int
+	// Submitted counts queries accepted by Solve/SolveBatch; Completed and
+	// Failed partition the finished ones; WarmStarted counts completions
+	// that skipped path following.
+	Submitted, Completed, Failed, WarmStarted int64
+}
+
+// task is one query in flight: submitted to exactly one worker queue,
+// resolved exactly once (res/err are written before done is closed and
+// only read after).
+type task struct {
+	ctx  context.Context
+	q    flow.Query
+	warm bool
+	res  *flow.Result
+	err  error
+	done chan struct{}
+}
+
+// worker is one pool goroutine and the session it exclusively owns. Tasks
+// are queued FIFO; because a terminal pair always hashes to the same
+// worker, per-pair execution order equals submission order.
+type worker struct {
+	id    int
+	sess  Session
+	p     *Pool
+	mu    sync.Mutex
+	queue []*task
+	wake  chan struct{} // cap 1: queue became non-empty
+}
+
+// Pool is a thread-safe, sharded pool of solver sessions. Queries are
+// routed by terminal pair: hash(s, t) picks the shard and, inside it, the
+// worker — so every query for one pair runs on one session, in submission
+// order, which keeps the allocation-free per-session hot paths race-free
+// and the warm-start caches coherent without any locking on the solve
+// path. Solve and SolveBatch may be called from any number of goroutines.
+//
+// Shutdown is two-speed: Drain stops intake and lets queued work finish
+// (with a context bounding the wait), Close aborts queued and running work
+// immediately.
+type Pool struct {
+	workers []*worker
+	shards  int
+	// shardOff/shardLen index the workers slice per shard (ragged: the
+	// first Workers mod Shards shards hold one extra worker).
+	shardOff, shardLen []int
+
+	// mu guards closed and brackets every queue append, so that a task
+	// accepted before shutdown is always visible to its worker's final
+	// queue scan (submission and beginShutdown serialize on mu).
+	mu     sync.Mutex
+	closed bool
+	drain  chan struct{} // closed once no new work is accepted
+	kill   chan struct{} // closed to abort queued and running work
+
+	killOnce sync.Once
+	wg       sync.WaitGroup // worker goroutines
+	inflight sync.WaitGroup // accepted but unfinished tasks
+
+	submitted, completed, failed, warmHits atomic.Int64
+}
+
+// New builds the pool and starts its max(Workers, Shards) workers. Every
+// session is constructed eagerly so configuration errors (bad backend,
+// empty digraph) surface here, before any query is accepted.
+func New(cfg Config) (*Pool, error) {
+	if cfg.New == nil {
+		return nil, errors.New("pool: Config.New is required")
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	workers := cfg.Workers
+	if workers < shards {
+		workers = shards
+	}
+	p := &Pool{
+		shards: shards,
+		drain:  make(chan struct{}),
+		kill:   make(chan struct{}),
+	}
+	base, extra := workers/shards, workers%shards
+	for s, off := 0, 0; s < shards; s++ {
+		size := base
+		if s < extra {
+			size++
+		}
+		p.shardOff = append(p.shardOff, off)
+		p.shardLen = append(p.shardLen, size)
+		off += size
+	}
+	for i := 0; i < workers; i++ {
+		sess, err := cfg.New(i)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("pool: worker %d session: %w", i, err)
+		}
+		p.workers = append(p.workers, &worker{id: i, sess: sess, p: p, wake: make(chan struct{}, 1)})
+	}
+	for _, w := range p.workers {
+		p.wg.Add(1)
+		go w.loop()
+	}
+	return p, nil
+}
+
+// Workers returns the total worker-session count.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// ShardCount returns the number of terminal-pair shards.
+func (p *Pool) ShardCount() int { return p.shards }
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Shards:      p.shards,
+		Workers:     len(p.workers),
+		Submitted:   p.submitted.Load(),
+		Completed:   p.completed.Load(),
+		Failed:      p.failed.Load(),
+		WarmStarted: p.warmHits.Load(),
+	}
+}
+
+// Validate checks one query without solving (read-only, concurrency-safe).
+func (p *Pool) Validate(q flow.Query) error { return p.workers[0].sess.Validate(q) }
+
+// workerFor routes a terminal pair: a splitmix64 finalizer over (s, t)
+// picks the shard from the low bits and the worker within the shard from
+// independent high bits. Deterministic across processes (no per-run hash
+// seeding), so a replayed query stream shards identically.
+func (p *Pool) workerFor(q flow.Query) *worker {
+	x := uint64(uint32(q.S))<<32 | uint64(uint32(q.T))
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	shard := int(x % uint64(p.shards))
+	wi := int((x >> 17) % uint64(p.shardLen[shard]))
+	return p.workers[p.shardOff[shard]+wi]
+}
+
+// submit enqueues t on its pair's worker, or rejects it if shutdown began.
+func (p *Pool) submit(t *task) error {
+	w := p.workerFor(t.q)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.inflight.Add(1)
+	p.submitted.Add(1)
+	w.mu.Lock()
+	w.queue = append(w.queue, t)
+	w.mu.Unlock()
+	p.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Solve answers one (s, t) query with one-shot (cold) semantics on the
+// pair's pinned worker session. If ctx expires while the query is still
+// queued or running, Solve returns ctx.Err() immediately; the worker fails
+// the abandoned task promptly when it reaches it.
+func (p *Pool) Solve(ctx context.Context, s, t int) (*flow.Result, error) {
+	tk := &task{ctx: ctx, q: flow.Query{S: s, T: t}, done: make(chan struct{})}
+	if err := p.submit(tk); err != nil {
+		return nil, err
+	}
+	select {
+	case <-tk.done:
+		return tk.res, tk.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// SolveBatch fans queries out across the pool with batch (warm-start)
+// semantics and bounded concurrency — at most Workers() solves run at
+// once. Every terminal pair is validated before any work starts, matching
+// the sequential session contract. Because submission order is batch order
+// and a pair always lands on the same worker queue, per-pair solve order
+// equals the sequential path's — which is what keeps warm starts, and
+// their bit-identical results, intact under fan-out. The first failing
+// query cancels the rest of the batch and is returned.
+func (p *Pool) SolveBatch(ctx context.Context, queries []flow.Query) ([]*flow.Result, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	for i, q := range queries {
+		if err := p.Validate(q); err != nil {
+			return nil, fmt.Errorf("pool: batch query %d: %w", i, err)
+		}
+	}
+	bctx, cancelBatch := context.WithCancel(ctx)
+	defer cancelBatch()
+	var (
+		once     sync.Once
+		firstErr error
+	)
+	fail := func(i int, q flow.Query, err error) {
+		once.Do(func() {
+			firstErr = fmt.Errorf("pool: batch query %d (s=%d, t=%d): %w", i, q.S, q.T, err)
+			cancelBatch()
+		})
+	}
+	tasks := make([]*task, len(queries))
+	for i, q := range queries {
+		t := &task{ctx: bctx, q: q, warm: true, done: make(chan struct{})}
+		if err := p.submit(t); err != nil {
+			fail(i, q, err)
+			break
+		}
+		tasks[i] = t
+	}
+	var wg sync.WaitGroup
+	for i, t := range tasks {
+		if t == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, t *task) {
+			defer wg.Done()
+			<-t.done
+			if t.err != nil {
+				fail(i, t.q, t.err)
+			}
+		}(i, t)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := make([]*flow.Result, len(tasks))
+	for i, t := range tasks {
+		out[i] = t.res
+	}
+	return out, nil
+}
+
+// beginShutdown stops intake. Serializing on mu with submit guarantees
+// every accepted task is already on its worker queue when drain closes.
+func (p *Pool) beginShutdown() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.drain)
+	}
+	p.mu.Unlock()
+}
+
+// Drain gracefully shuts the pool down: intake stops immediately, queued
+// and running queries are allowed to finish, and Drain returns nil once
+// every worker has exited. If ctx expires first, the remaining work is
+// aborted — running solves are canceled mid-iteration, queued tasks fail
+// with ErrClosed — and Drain returns ctx.Err() after the workers exit.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.beginShutdown()
+	done := make(chan struct{})
+	go func() {
+		p.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		p.wg.Wait()
+		return nil
+	case <-ctx.Done():
+		p.killOnce.Do(func() { close(p.kill) })
+		<-done
+		p.wg.Wait()
+		return ctx.Err()
+	}
+}
+
+// Close aborts the pool: intake stops, queued tasks fail with ErrClosed,
+// running solves are canceled within one solver iteration, and Close
+// returns once every worker goroutine has exited. Safe to call after
+// Drain, and more than once.
+func (p *Pool) Close() {
+	p.beginShutdown()
+	p.killOnce.Do(func() { close(p.kill) })
+	p.wg.Wait()
+}
+
+// loop is the worker body: pop, solve, repeat until shutdown.
+func (w *worker) loop() {
+	defer w.p.wg.Done()
+	for {
+		t, stop := w.next()
+		if stop {
+			return
+		}
+		if t != nil {
+			w.run(t)
+		}
+	}
+}
+
+// next blocks until a task is available or the pool shuts down. On drain
+// it keeps working until its queue is empty; on kill it fails everything
+// still queued and exits.
+func (w *worker) next() (t *task, stop bool) {
+	for {
+		w.mu.Lock()
+		if len(w.queue) > 0 {
+			t = w.queue[0]
+			w.queue = w.queue[1:]
+			w.mu.Unlock()
+			select {
+			case <-w.p.kill:
+				// Abort began while this task sat queued: fail it
+				// instead of running it.
+				w.fail(t, ErrClosed)
+				continue
+			default:
+			}
+			return t, false
+		}
+		w.mu.Unlock()
+		select {
+		case <-w.wake:
+		case <-w.p.kill:
+			w.failQueued()
+			return nil, true
+		case <-w.p.drain:
+			// Intake is closed and submissions serialize with it on
+			// p.mu, so an empty queue here is final.
+			w.mu.Lock()
+			empty := len(w.queue) == 0
+			w.mu.Unlock()
+			if empty {
+				return nil, true
+			}
+		}
+	}
+}
+
+// fail resolves a task without running it (abort path).
+func (w *worker) fail(t *task, err error) {
+	t.err = err
+	w.p.failed.Add(1)
+	close(t.done)
+	w.p.inflight.Done()
+}
+
+// failQueued resolves every still-queued task with ErrClosed (abort path).
+func (w *worker) failQueued() {
+	w.mu.Lock()
+	q := w.queue
+	w.queue = nil
+	w.mu.Unlock()
+	for _, t := range q {
+		w.fail(t, ErrClosed)
+	}
+}
+
+// run executes one task on the worker's private session. The solve context
+// is the task's, additionally canceled if the pool is killed mid-solve, so
+// an aborting shutdown interrupts within one solver iteration.
+func (w *worker) run(t *task) {
+	p := w.p
+	finish := func() {
+		if t.err != nil {
+			p.failed.Add(1)
+		} else {
+			p.completed.Add(1)
+			if t.res.WarmStarted {
+				p.warmHits.Add(1)
+			}
+		}
+		close(t.done)
+		p.inflight.Done()
+	}
+	if err := t.ctx.Err(); err != nil {
+		t.err = err
+		finish()
+		return
+	}
+	ctx, cancel := context.WithCancel(t.ctx)
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-p.kill:
+			cancel()
+		case <-watchDone:
+		}
+	}()
+	if t.warm {
+		t.res, t.err = w.sess.SolveWarm(ctx, t.q)
+	} else {
+		t.res, t.err = w.sess.Solve(ctx, t.q.S, t.q.T)
+	}
+	close(watchDone)
+	cancel()
+	finish()
+}

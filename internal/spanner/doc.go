@@ -1,0 +1,25 @@
+// Package spanner implements the spanner algorithms of the paper:
+//
+//   - the classic Baswana–Sen (2k−1)-spanner in the formulation of
+//     Becker et al. (Appendix A of the paper), and
+//   - the paper's novel Spanner(V, E, w, p, k) for graphs with
+//     *probabilistic edges* (Section 3.1), where each edge e exists with
+//     probability p_e, existence is sampled on the fly by exactly one
+//     endpoint inside the Connect procedure, and the other endpoint
+//     deduces the outcome implicitly from the broadcast — the key trick
+//     that makes spectral sparsification possible in the Broadcast
+//     CONGEST model.
+//
+// The output is a partition of the decided edges F = F⁺ ⊎ F⁻ such that
+// every e ∈ F landed in F⁺ independently with probability p_e, and
+// S = (V, F⁺) is a (2k−1)-spanner of (V, F⁺ ∪ E″) for every E″ ⊆ E \ F
+// (Lemma 3.1).
+//
+// Invariants:
+//
+//   - Knowledge consistency: both endpoints of an edge reach the same
+//     existence decision from broadcasts alone (tested); no hidden shared
+//     state exists outside the simulator's message log.
+//   - Determinism in the supplied rand streams: MarkRand and EdgeRand
+//     fully determine the run, so experiments replay bit for bit.
+package spanner

@@ -1,18 +1,3 @@
-// Package spanner implements the spanner algorithms of the paper:
-//
-//   - the classic Baswana–Sen (2k−1)-spanner in the formulation of
-//     Becker et al. (Appendix A of the paper), and
-//   - the paper's novel Spanner(V, E, w, p, k) for graphs with
-//     *probabilistic edges* (Section 3.1), where each edge e exists with
-//     probability p_e, existence is sampled on the fly by exactly one
-//     endpoint inside the Connect procedure, and the other endpoint deduces
-//     the outcome implicitly from the broadcast — the key trick that makes
-//     spectral sparsification possible in the Broadcast CONGEST model.
-//
-// The output is a partition of the decided edges F = F⁺ ⊎ F⁻ such that
-// every e ∈ F landed in F⁺ independently with probability p_e, and
-// S = (V, F⁺) is a (2k−1)-spanner of (V, F⁺ ∪ E″) for every E″ ⊆ E \ F
-// (Lemma 3.1).
 package spanner
 
 import (

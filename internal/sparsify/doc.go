@@ -1,0 +1,28 @@
+// Package sparsify implements spectral graph sparsification in the
+// Broadcast CONGEST model (Section 3.2 of the paper, Theorem 1.2),
+// following the Koutis–Xu framework with the fixed bundle size of Kyng et
+// al.:
+//
+//   - Apriori (Algorithm 4): the baseline that samples surviving edges
+//     with probability 1/4 *a priori* in each iteration. Easy in CONGEST,
+//     not implementable with broadcasts only.
+//   - Adhoc (Algorithm 5): the paper's contribution — edge-existence
+//     probabilities are maintained explicitly and evaluated lazily inside
+//     the probabilistic-spanner Connect calls, so the outcome of every
+//     sample is deducible by both endpoints from broadcasts alone.
+//   - SeededBCC: the footnote 4 extension — in the Congested Clique a
+//     shared broadcast seed lets every vertex replay the same a-priori
+//     coin flips locally.
+//
+// Lemma 3.3 states that ad-hoc and a-priori sampling produce identically
+// distributed outputs; TestLemma33 verifies this empirically, and Theorem
+// 1.2 (quality + size + rounds) is validated in the E3 experiment.
+//
+// Invariants:
+//
+//   - Determinism in the supplied rand stream: Params plus one *rand.Rand
+//     reproduce the sparsifier bit for bit (the Laplacian solver's
+//     preprocessing depends on this for session determinism).
+//   - The returned sparsifier carries KeptEdges indices into the input
+//     graph, so reweighting is auditable edge by edge.
+package sparsify

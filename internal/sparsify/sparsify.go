@@ -1,18 +1,3 @@
-// Package sparsify implements spectral graph sparsification in the
-// Broadcast CONGEST model (Section 3.2 of the paper), following the
-// Koutis–Xu framework with the fixed bundle size of Kyng et al.:
-//
-//   - Apriori (Algorithm 4): the baseline that samples surviving edges with
-//     probability 1/4 *a priori* in each iteration. Easy in CONGEST, not
-//     implementable with broadcasts only.
-//   - Adhoc (Algorithm 5): the paper's contribution — edge-existence
-//     probabilities are maintained explicitly and evaluated lazily inside
-//     the probabilistic-spanner Connect calls, so the outcome of every
-//     sample is deducible by both endpoints from broadcasts alone.
-//
-// Lemma 3.3 states the two produce identically distributed outputs;
-// TestLemma33 verifies this empirically, and Theorem 1.2 (quality + size +
-// rounds) is validated in the E3 experiment.
 package sparsify
 
 import (

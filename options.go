@@ -32,6 +32,8 @@ type config struct {
 	net            *Network
 	tol            float64
 	retries        int
+	poolSize       int
+	shards         int
 	progress       func(Event)
 	sparsifyParams SparsifyParams
 	lpParams       LPParams
@@ -64,8 +66,9 @@ func WithSeed(seed int64) Option {
 }
 
 // WithNetwork attaches a round-accounting simulator network; Stats.Rounds
-// then reports the rounds consumed by each solve. Applies to every entry
-// point.
+// then reports the rounds consumed by each solve. The simulator is
+// single-stream, so combining it with WithPoolSize/WithShards fails at
+// construction. Applies to every entry point.
 func WithNetwork(net *Network) Option {
 	return func(c *config) { c.net = net }
 }
@@ -85,11 +88,40 @@ func WithRetries(n int) Option {
 	return func(c *config) { c.retries = n }
 }
 
+// WithPoolSize backs a FlowSolver with a pool of n ≥ 1 worker sessions,
+// making it safe for concurrent use: Solve and SolveBatch may be called
+// from any number of goroutines, SolveBatch fans its queries out across
+// the workers (bounded by pool-size concurrent solves), and queries are
+// routed by terminal pair so that each pair always runs on the same
+// worker session — which keeps results bit-identical to the sequential
+// path, warm-start caches included. The worker count is exactly
+// max(n, WithShards) — every shard needs at least one worker — and
+// construction cost scales with it (each worker owns independent backend
+// workspaces); PoolSize reports the effective count. Without this option
+// the solver is the classic single-goroutine session. A pooled solver
+// rejects WithNetwork (the round simulator is single-stream) and should
+// be shut down with Drain or Close. Applies to NewFlowSolver.
+func WithPoolSize(n int) Option {
+	return func(c *config) { c.poolSize = n }
+}
+
+// WithShards sets the number of terminal-pair shards of a pooled
+// FlowSolver (default: the pool size, i.e. one worker per shard). Queries
+// hash by (s, t) onto shards; setting fewer shards than workers groups
+// several workers under one shard while keeping each pair pinned to a
+// single worker. Setting it without WithPoolSize makes the solver pooled
+// with one worker per shard. Applies to NewFlowSolver.
+func WithShards(s int) Option {
+	return func(c *config) { c.shards = s }
+}
+
 // WithProgress registers a callback receiving per-attempt and per-path-step
 // Events. The callback runs synchronously on the solver goroutine: keep it
 // fast, and do not call back into the session. Canceling the solve's
 // context from inside the callback is the supported way to abort on a
-// progress condition. Applies to NewFlowSolver and NewLPSolver.
+// progress condition. On a pooled FlowSolver (WithPoolSize > 1) the
+// callback is invoked concurrently from every worker goroutine — it must
+// be safe for concurrent use. Applies to NewFlowSolver and NewLPSolver.
 func WithProgress(fn func(Event)) Option {
 	return func(c *config) { c.progress = fn }
 }

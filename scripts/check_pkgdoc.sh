@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Docs gate: every package under ./... must carry package-level
+# documentation — a comment block immediately preceding the package clause
+# in at least one non-test .go file (conventionally doc.go, or the
+# "// Command ..." header of a main package). Run from the repo root; CI
+# fails the build on any finding.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for dir in $(go list -f '{{.Dir}}' ./...); do
+  ok=0
+  for f in "$dir"/*.go; do
+    case "$f" in *_test.go) continue ;; esac
+    # The line directly above the package clause must be a comment (i.e.
+    # the file ends a package doc block there).
+    if awk '/^package /{ok = (prev ~ /^\/\//); exit} {prev=$0} END{exit !ok}' "$f"; then
+      ok=1
+      break
+    fi
+  done
+  if [ "$ok" -eq 0 ]; then
+    echo "missing package-level documentation: ${dir#"$(pwd)"/}" >&2
+    fail=1
+  fi
+done
+if [ "$fail" -ne 0 ]; then
+  echo "every package needs a doc comment (see internal/*/doc.go for the pattern)" >&2
+fi
+exit "$fail"

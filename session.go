@@ -10,6 +10,7 @@ import (
 	"bcclap/internal/flow"
 	"bcclap/internal/lapsolver"
 	"bcclap/internal/lp"
+	"bcclap/internal/pool"
 )
 
 // seededRand is the deterministic stream constructor shared by the session
@@ -62,17 +63,31 @@ type FlowQuery struct {
 // interior-point iterations. Every returned flow is certified exact
 // (feasibility, maximality, cost optimality) before being returned.
 //
-// A FlowSolver is not safe for concurrent use; serve a sequential query
+// By default a FlowSolver is single-goroutine: serve a sequential query
 // stream per solver (matching the model: one network, one round
-// structure).
+// structure). With WithPoolSize the solver is instead backed by a
+// sharded pool of n independent worker sessions (internal/pool): Solve and
+// SolveBatch become safe for concurrent use, SolveBatch fans out across
+// the workers, and queries are routed by terminal pair so results —
+// including warm-start behavior — stay bit-identical to the sequential
+// path. Pooled solvers should be shut down with Drain or Close.
 type FlowSolver struct {
-	inner   *flow.Solver
+	inner   *flow.Solver // single-session mode (pool size ≤ 1)
+	pool    *pool.Pool   // pooled mode (WithPoolSize / WithShards)
 	backend string
 }
+
+// PoolStats is a snapshot of a pooled FlowSolver's counters (pool
+// geometry, queries submitted/completed/failed, warm-start hits).
+type PoolStats = pool.Stats
 
 // NewFlowSolver builds a session over d. Construction fails fast on an
 // empty digraph (ErrBadQuery) and on an unknown WithBackend name
 // (ErrBackendUnknown, listing FlowBackends()); it does no numerical work.
+// With WithPoolSize, independent worker sessions are constructed (each
+// with its own backend workspaces) and the solver becomes safe for
+// concurrent use; WithNetwork is then rejected (the round-accounting
+// simulator is single-stream).
 func NewFlowSolver(d *Digraph, opts ...Option) (*FlowSolver, error) {
 	cfg := applyOptions(opts)
 	fopts := flow.Options{
@@ -95,13 +110,39 @@ func NewFlowSolver(d *Digraph, opts ...Option) (*FlowSolver, error) {
 			prg(Event{Stage: "path-step", Phase: phase, Step: step, T: t})
 		}
 	}
-	inner, err := flow.NewSolver(d, fopts)
-	if err != nil {
-		return nil, err
-	}
 	backend := cfg.backend
 	if backend == "" {
 		backend = "dense"
+	}
+	if cfg.poolSize >= 1 || cfg.shards > 1 {
+		// The round-accounting simulator is single-stream (its phase state
+		// is unsynchronized by design — one network, one round structure);
+		// sharing it across workers would interleave the accounting.
+		if cfg.net != nil {
+			return nil, fmt.Errorf("bcclap: WithNetwork cannot be combined with WithPoolSize/WithShards; attach the simulator to a sequential solver")
+		}
+		shards := cfg.shards
+		if shards <= 0 {
+			shards = cfg.poolSize
+		}
+		// Every worker session gets identical options (flow takes the seed
+		// by pointer and derives a fresh per-query stream from it), so any
+		// worker answers any query exactly as the sequential session would.
+		p, err := pool.New(pool.Config{
+			Shards:  shards,
+			Workers: cfg.poolSize,
+			New: func(int) (pool.Session, error) {
+				return flow.NewSolver(d, fopts)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &FlowSolver{pool: p, backend: backend}, nil
+	}
+	inner, err := flow.NewSolver(d, fopts)
+	if err != nil {
+		return nil, err
 	}
 	return &FlowSolver{inner: inner, backend: backend}, nil
 }
@@ -113,7 +154,15 @@ func NewFlowSolver(d *Digraph, opts ...Option) (*FlowSolver, error) {
 // they produce bit-identical results to fresh one-shot calls with the
 // same seed.
 func (fs *FlowSolver) Solve(ctx context.Context, s, t int) (*FlowResult, error) {
-	res, err := fs.inner.Solve(ctx, s, t)
+	var (
+		res *flow.Result
+		err error
+	)
+	if fs.pool != nil {
+		res, err = fs.pool.Solve(ctx, s, t)
+	} else {
+		res, err = fs.inner.Solve(ctx, s, t)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -127,12 +176,25 @@ func (fs *FlowSolver) Solve(ctx context.Context, s, t int) (*FlowResult, error) 
 // amortization comes from — and fall back to a cold solve whenever the
 // exactness certificate rejects the shortcut, so batch answers are exactly
 // as certified as single-query answers.
+//
+// On a pooled solver (WithPoolSize) the batch fans out across the worker
+// sessions with at most pool-size concurrent solves. Terminal pairs stay
+// pinned to workers, so per-pair order — and every certified result — is
+// bit-identical to the sequential batch.
 func (fs *FlowSolver) SolveBatch(ctx context.Context, queries []FlowQuery) ([]*FlowResult, error) {
 	qs := make([]flow.Query, len(queries))
 	for i, q := range queries {
 		qs[i] = flow.Query{S: q.S, T: q.T}
 	}
-	results, err := fs.inner.SolveBatch(ctx, qs)
+	var (
+		results []*flow.Result
+		err     error
+	)
+	if fs.pool != nil {
+		results, err = fs.pool.SolveBatch(ctx, qs)
+	} else {
+		results, err = fs.inner.SolveBatch(ctx, qs)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -141,6 +203,43 @@ func (fs *FlowSolver) SolveBatch(ctx context.Context, queries []FlowQuery) ([]*F
 		out[i] = fs.newResult(res)
 	}
 	return out, nil
+}
+
+// Drain gracefully shuts a pooled solver down: new queries are rejected,
+// queued and running queries finish, and Drain returns nil once every
+// worker has exited. If ctx expires first, the remaining work is aborted
+// and Drain returns ctx.Err(). On a non-pooled solver Drain is a no-op.
+func (fs *FlowSolver) Drain(ctx context.Context) error {
+	if fs.pool == nil {
+		return nil
+	}
+	return fs.pool.Drain(ctx)
+}
+
+// Close aborts a pooled solver immediately: queued queries fail, running
+// solves are canceled within one solver iteration, and Close returns once
+// every worker goroutine has exited. On a non-pooled solver Close is a
+// no-op. Safe to call after Drain, and more than once.
+func (fs *FlowSolver) Close() {
+	if fs.pool != nil {
+		fs.pool.Close()
+	}
+}
+
+// PoolSize returns the number of worker sessions (1 when not pooled).
+func (fs *FlowSolver) PoolSize() int {
+	if fs.pool == nil {
+		return 1
+	}
+	return fs.pool.Workers()
+}
+
+// PoolStats snapshots the pool counters; the zero Stats when not pooled.
+func (fs *FlowSolver) PoolStats() PoolStats {
+	if fs.pool == nil {
+		return PoolStats{}
+	}
+	return fs.pool.Stats()
 }
 
 func (fs *FlowSolver) newResult(res *flow.Result) *FlowResult {

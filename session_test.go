@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"bcclap/internal/graph"
@@ -248,5 +249,89 @@ func TestProgressEvents(t *testing.T) {
 	}
 	if attempts == 0 || steps == 0 {
 		t.Fatalf("progress stream empty: attempts=%d steps=%d", attempts, steps)
+	}
+}
+
+// A pooled FlowSolver must answer batches bit-identically to the
+// sequential solver, accept concurrent callers, and shut down with the
+// ErrSolverClosed sentinel.
+func TestFlowSolverPooled(t *testing.T) {
+	d := testFlowNetwork(5, 36)
+	s, tt := 0, d.N()-1
+	queries := []FlowQuery{{s, tt}, {s, tt}, {s, tt}, {s, tt}}
+
+	seq, err := NewFlowSolver(d, WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seq.SolveBatch(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A pooled solver cannot share the single-stream round simulator.
+	if net, err := NewBCCNetwork(d.N()); err != nil {
+		t.Fatal(err)
+	} else if _, err := NewFlowSolver(d, WithPoolSize(2), WithNetwork(net)); err == nil {
+		t.Fatal("WithNetwork + WithPoolSize accepted")
+	}
+
+	pooled, err := NewFlowSolver(d, WithSeed(6), WithPoolSize(3), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pooled.Close()
+	if n := pooled.PoolSize(); n != 3 {
+		t.Fatalf("pool size %d, want exactly 3 (max of WithPoolSize and WithShards)", n)
+	}
+	got, err := pooled.SolveBatch(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if got[i].Value != want[i].Value || got[i].Cost != want[i].Cost ||
+			!reflect.DeepEqual(got[i].Flows, want[i].Flows) ||
+			got[i].Stats.WarmStarted != want[i].Stats.WarmStarted {
+			t.Fatalf("query %d: pooled %+v vs sequential %+v", i, got[i], want[i])
+		}
+	}
+	st := pooled.PoolStats()
+	if st.Completed != int64(len(queries)) || st.WarmStarted == 0 {
+		t.Fatalf("pool stats: %+v", st)
+	}
+
+	// Concurrent single-query callers: every result must match the
+	// sequential answer (queries are cold, so any order is the same order).
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := pooled.Solve(context.Background(), s, tt)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.Value != want[0].Value || res.Cost != want[0].Cost {
+				t.Errorf("concurrent solve: (%d, %d) vs (%d, %d)",
+					res.Value, res.Cost, want[0].Value, want[0].Cost)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := pooled.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pooled.Solve(context.Background(), s, tt); !errors.Is(err, ErrSolverClosed) {
+		t.Fatalf("post-drain solve: got %v, want ErrSolverClosed", err)
+	}
+	// Drain and Close are no-ops on a sequential solver.
+	if err := seq.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	seq.Close()
+	if _, err := seq.Solve(context.Background(), s, tt); err != nil {
+		t.Fatalf("sequential solver closed by no-op Close: %v", err)
 	}
 }
