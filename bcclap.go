@@ -79,14 +79,24 @@
 //	gremban — Gremban reduction to a Laplacian + preconditioned CG (Lemma 5.1)
 //	csr-cg  — matrix-free CG applying A, D, Aᵀ as composed operators;
 //	          never materializes AᵀDA and scales to large instances
+//	csr-pcg — csr-cg plus a combinatorial preconditioner: a spanning-forest
+//	          incomplete Cholesky extracted from the flow network with the
+//	          paper's spanner/sparsifier machinery, built once per session
+//	          and only numerically refreshed when the IPM reweights D —
+//	          fewer inner CG iterations per query (see BENCH_precond.json);
+//	          Stats.PrecondBuilds/PrecondRefreshes expose its counters
 //
-//	solver, err := bcclap.NewFlowSolver(d, bcclap.WithBackend("csr-cg"))
+//	solver, err := bcclap.NewFlowSolver(d, bcclap.WithBackend("csr-pcg"))
 //	res, err := solver.Solve(ctx, s, t)
 //
+// With no WithBackend option the backend is auto-selected: csr-pcg when
+// the network is sparse (n ≥ 32 and m ≤ n²/8), dense otherwise;
+// FlowSolver.Backend and Stats.Backend report the resolved name.
 // FlowBackends lists the registered names; unknown names fail at session
 // construction with ErrBackendUnknown. All matrix-vector products ride on
-// a row-sharded parallel sparse kernel whose output is bit-for-bit
-// identical to the serial product.
+// a parallel sparse kernel that shards rows by balanced nonzero count
+// (serial below an nnz threshold) with output bit-for-bit identical to the
+// serial product.
 //
 // The pre-session entry points (Sparsify, SolveLP, MinCostMaxFlow) remain
 // as thin deprecated wrappers over sessions, so existing callers keep
@@ -282,10 +292,11 @@ func SolveLP(prob *LPProblem, x0 []float64, eps float64, par LPParams) (*LPSolut
 type FlowOptions struct {
 	// Backend selects the AᵀDA linear-solve strategy by registry name:
 	// "dense" (assemble + factorize, the reference), "gremban" (Lemma 5.1's
-	// reduction to Laplacian systems) or "csr-cg" (matrix-free CG over
-	// composed operators, the scalable default for large graphs). Empty
-	// selects "dense", or "gremban" when UseGremban is set. FlowBackends
-	// lists the registered names.
+	// reduction to Laplacian systems), "csr-cg" (matrix-free CG over
+	// composed operators) or "csr-pcg" (csr-cg with the spanner-built
+	// combinatorial preconditioner). Empty auto-selects — csr-pcg on sparse
+	// graphs, dense otherwise — or "gremban" when UseGremban is set.
+	// FlowBackends lists the registered names.
 	Backend string
 	// UseGremban routes the LP's linear-system solves through the Gremban
 	// reduction to Laplacian systems (Lemma 5.1).

@@ -441,7 +441,10 @@ func benchMedian(f func()) time.Duration {
 
 // TestBenchBackendsSnapshot regenerates BENCH_backends.json, the committed
 // snapshot of the backend and SpMV comparison (set BENCH_SNAPSHOT=1 to
-// refresh; skipped otherwise so regular test runs stay fast).
+// refresh; skipped otherwise so regular test runs stay fast). The SpMV
+// entry records the auto path next to the pinned serial/parallel kernels
+// and gates the shard heuristic: the auto path must either fall back to
+// serial or beat it.
 func TestBenchBackendsSnapshot(t *testing.T) {
 	if os.Getenv("BENCH_SNAPSHOT") == "" {
 		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_backends.json")
@@ -464,21 +467,29 @@ func TestBenchBackendsSnapshot(t *testing.T) {
 	if solveNS["csr-cg"] >= solveNS["dense"] {
 		t.Errorf("csr-cg (%d ns) does not beat dense (%d ns) at n = %d", solveNS["csr-cg"], solveNS["dense"], n)
 	}
-	// SpMV serial vs parallel on the same matrix BenchmarkE16SpMV uses.
+	// SpMV serial vs pinned-parallel vs the auto heuristic on the same
+	// matrix BenchmarkE16SpMV uses.
 	m, x := benchSpMVInstance()
 	nn := m.Rows()
 	dst := make([]float64, nn)
 	const spmvReps = 50
-	serialNS := benchMedian(func() {
-		for i := 0; i < spmvReps; i++ {
-			m.MulVecToShards(dst, x, 1)
-		}
-	}).Nanoseconds() / spmvReps
-	parallelNS := benchMedian(func() {
-		for i := 0; i < spmvReps; i++ {
-			m.MulVecToShards(dst, x, runtime.NumCPU())
-		}
-	}).Nanoseconds() / spmvReps
+	timeShards := func(run func()) int64 {
+		return benchMedian(func() {
+			for i := 0; i < spmvReps; i++ {
+				run()
+			}
+		}).Nanoseconds() / spmvReps
+	}
+	serialNS := timeShards(func() { m.MulVecToShards(dst, x, 1) })
+	parallelNS := timeShards(func() { m.MulVecToShards(dst, x, runtime.NumCPU()) })
+	autoNS := timeShards(func() { m.MulVecTo(dst, x) })
+	autoShards := m.AutoShards()
+	// The shard-heuristic gate: the auto path either stays serial (1 CPU,
+	// or nnz below the threshold) or must not lose to serial beyond timing
+	// noise.
+	if autoShards > 1 && autoNS > serialNS+serialNS/10 {
+		t.Errorf("auto SpMV picked %d shards but runs at %d ns vs %d ns serial", autoShards, autoNS, serialNS)
+	}
 	snap := map[string]any{
 		"generated_by": "BENCH_SNAPSHOT=1 go test -run TestBenchBackendsSnapshot .",
 		"atda": map[string]any{
@@ -486,8 +497,9 @@ func TestBenchBackendsSnapshot(t *testing.T) {
 			"solve_ns": solveNS,
 		},
 		"spmv": map[string]any{
-			"n": nn, "nnz": m.NNZ(), "shards": runtime.NumCPU(),
+			"n": nn, "nnz": m.NNZ(), "num_cpu": runtime.NumCPU(),
 			"serial_ns": serialNS, "parallel_ns": parallelNS,
+			"auto_ns": autoNS, "auto_shards": autoShards,
 		},
 	}
 	buf, err := json.MarshalIndent(snap, "", "  ")
@@ -645,6 +657,143 @@ func TestBenchSessionSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_session.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// benchPrecondInstances returns the two fixed sparse flow networks of the
+// e19 preconditioner comparison. The sizes are chosen so a full certified
+// query finishes in seconds while the interior-point barrier weights still
+// spread far enough that the combinatorial preconditioner has conditioning
+// to win back.
+func benchPrecondInstances() []*graph.Digraph {
+	var out []*graph.Digraph
+	for _, n := range []int{8, 12} {
+		rnd := rand.New(rand.NewSource(int64(n)))
+		out = append(out, graph.RandomFlowNetwork(n, 0.1, 3, 3, rnd))
+	}
+	return out
+}
+
+// E19 — combinatorial preconditioning: full certified queries through
+// csr-cg (Jacobi only) vs csr-pcg (spanner-built spanning-forest incomplete
+// Cholesky, symbolic structure reused across every IPM step). The metric a
+// preconditioner exists for is the inner CG iteration total; wall clock
+// follows it (see BENCH_precond.json for the gated snapshot).
+func BenchmarkE19Precond(b *testing.B) {
+	ctx := context.Background()
+	for _, d := range benchPrecondInstances() {
+		for _, backend := range []string{"csr-cg", "csr-pcg"} {
+			b.Run(fmt.Sprintf("n%d-%s", d.N(), backend), func(b *testing.B) {
+				fs, err := NewFlowSolver(d, WithSeed(7), WithBackend(backend))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var iters, refreshes float64
+				for i := 0; i < b.N; i++ {
+					res, err := fs.Solve(ctx, 0, d.N()-1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					iters = float64(res.Stats.CGIterations)
+					refreshes = float64(res.Stats.PrecondRefreshes)
+				}
+				b.ReportMetric(iters, "cg_iters")
+				if backend == "csr-pcg" {
+					b.ReportMetric(refreshes, "precond_refreshes")
+				}
+			})
+		}
+	}
+}
+
+// TestBenchPrecondSnapshot regenerates BENCH_precond.json, the committed
+// snapshot of the csr-pcg preconditioner against csr-cg (set
+// BENCH_SNAPSHOT=1 to refresh). Following the e18 convention the gates
+// adapt to the host: correctness (certified value/cost equal to the SSP
+// baseline) and the inner-iteration reduction — strictly fewer total CG
+// iterations per query — are gated unconditionally on every host, while
+// the wall-clock win is gated only on multi-core hosts where timing is not
+// at the mercy of a shared single CPU. The committed snapshot must still
+// *show* lower solve_ns; it simply is not what fails the run on a noisy
+// container.
+func TestBenchPrecondSnapshot(t *testing.T) {
+	if os.Getenv("BENCH_SNAPSHOT") == "" {
+		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_precond.json")
+	}
+	ctx := context.Background()
+	backends := []string{"csr-cg", "csr-pcg"}
+
+	// Full certified queries at two sizes: total inner CG iterations and
+	// per-query latency, identical certified (value, cost) required.
+	queries := map[string]any{}
+	for _, d := range benchPrecondInstances() {
+		s, tt := 0, d.N()-1
+		wantV, wantC, _, err := MinCostMaxFlowBaseline(d, s, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perBackend := map[string]any{}
+		iters := map[string]int{}
+		solveNS := map[string]int64{}
+		for _, backend := range backends {
+			fs, err := NewFlowSolver(d, WithSeed(7), WithBackend(backend))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st Stats
+			ns := benchMedian(func() {
+				res, err := fs.Solve(ctx, s, tt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Value != wantV || res.Cost != wantC {
+					t.Fatalf("n=%d %s: (%d, %d) vs baseline (%d, %d)", d.N(), backend, res.Value, res.Cost, wantV, wantC)
+				}
+				st = res.Stats
+			}).Nanoseconds()
+			iters[backend] = st.CGIterations
+			solveNS[backend] = ns
+			perBackend[backend] = map[string]any{
+				"solve_ns":          ns,
+				"cg_iters":          st.CGIterations,
+				"path_steps":        st.PathSteps,
+				"precond_builds":    st.PrecondBuilds,
+				"precond_refreshes": st.PrecondRefreshes,
+			}
+		}
+		// Iteration gate, every host: the preconditioner must strictly cut
+		// the inner-iteration total per query.
+		if iters["csr-pcg"] >= iters["csr-cg"] {
+			t.Errorf("n=%d: csr-pcg used %d CG iterations, csr-cg %d — no reduction",
+				d.N(), iters["csr-pcg"], iters["csr-cg"])
+		}
+		// Wall-clock gate, multi-core hosts only (e18 convention).
+		if runtime.NumCPU() > 1 && solveNS["csr-pcg"] >= solveNS["csr-cg"] {
+			t.Errorf("n=%d: csr-pcg %d ns per query does not beat csr-cg %d ns on %d CPUs",
+				d.N(), solveNS["csr-pcg"], solveNS["csr-cg"], runtime.NumCPU())
+		}
+		queries[fmt.Sprintf("n%d", d.N())] = map[string]any{
+			"graph_n": d.N(), "graph_m": d.M(), "s": s, "t": tt,
+			"value": wantV, "cost": wantC,
+			"per_backend": perBackend,
+		}
+	}
+	snap := map[string]any{
+		"generated_by": "BENCH_SNAPSHOT=1 go test -run TestBenchPrecondSnapshot .",
+		"num_cpu":      runtime.NumCPU(),
+		"note": "csr-pcg = csr-cg + spanner-built spanning-forest incomplete Cholesky, symbolic " +
+			"structure built once per session and numerically refreshed per distinct barrier diagonal; " +
+			"the iteration gate holds on every host, the per-query wall-clock gate on multi-core hosts " +
+			"(the committed snapshot machine has 1 CPU; its per-query times still show the win because " +
+			"it comes from the iteration reduction, not from parallelism)",
+		"queries": queries,
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_precond.json", append(buf, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -38,9 +38,9 @@ import (
 var flowBackend string
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e12, e15, e17 or all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e12, e15, e17, e19 or all)")
 	quick := flag.Bool("quick", false, "smaller sweeps")
-	backend := flag.String("backend", "", "AᵀDA solve backend for the flow experiments: "+strings.Join(lp.Backends(), ", ")+" (default dense)")
+	backend := flag.String("backend", "", "AᵀDA solve backend for the flow experiments: "+strings.Join(lp.Backends(), ", ")+" (default: auto — csr-pcg on sparse graphs, else dense)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (e.g. 10m; 0 = no limit)")
 	flag.Parse()
 	flowBackend = *backend
@@ -64,10 +64,10 @@ func run(ctx context.Context, exp string, quick bool) error {
 	all := map[string]func(context.Context, bool) error{
 		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6,
 		"e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11, "e12": e12,
-		"e15": e15, "e17": e17,
+		"e15": e15, "e17": e17, "e19": e19,
 	}
 	if exp == "all" {
-		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e15", "e17"} {
+		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e15", "e17", "e19"} {
 			if err := all[id](ctx, quick); err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}
@@ -556,6 +556,50 @@ func e17(ctx context.Context, quick bool) error {
 		fmt.Printf("| %s | %v | %v | %.0fx | %d/%d | %s |\n",
 			backend, oneShot.Round(time.Millisecond), perQuery.Round(time.Microsecond),
 			float64(oneShot)/float64(max(perQuery, 1)), warm, batchLen, match)
+	}
+	return nil
+}
+
+// e19: combinatorial preconditioning — full certified queries through
+// csr-cg (Jacobi only) vs csr-pcg (spanner-built spanning-forest
+// incomplete Cholesky, symbolic structure reused across IPM steps and
+// queries): total inner CG iterations, preconditioner counters and wall
+// clock per query (the table EXPERIMENTS.md §e19 records;
+// BENCH_precond.json snapshots the same comparison with its gates).
+func e19(ctx context.Context, quick bool) error {
+	header("e19", "Combinatorial preconditioning: csr-pcg vs csr-cg inner iterations per query")
+	ns := []int{8, 12}
+	if quick {
+		ns = []int{8}
+	}
+	fmt.Println("| n | m | backend | cg iters | path steps | builds | refreshes | = baseline | time |")
+	fmt.Println("|---|---|---|---|---|---|---|---|---|")
+	for _, n := range ns {
+		rnd := rand.New(rand.NewSource(int64(n)))
+		d := graph.RandomFlowNetwork(n, 0.1, 3, 3, rnd)
+		wantV, wantC, _, err := flow.MinCostMaxFlowSSP(d, 0, d.N()-1)
+		if err != nil {
+			return err
+		}
+		for _, backend := range []string{"csr-cg", "csr-pcg"} {
+			fs, err := flow.NewSolver(d, flow.Options{Backend: backend, Seed: flow.SeedOf(18)})
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			res, err := fs.Solve(ctx, 0, d.N()-1)
+			if err != nil {
+				return fmt.Errorf("backend %s: %w", backend, err)
+			}
+			match := "yes"
+			if res.Value != wantV || res.Cost != wantC {
+				match = "NO"
+			}
+			fmt.Printf("| %d | %d | %s | %d | %d | %d | %d | %s | %v |\n",
+				d.N(), d.M(), backend, res.LPStats.CGIterations, res.LPStats.PathSteps,
+				res.LPStats.PrecondBuilds, res.LPStats.PrecondRefreshes, match,
+				time.Since(start).Round(time.Millisecond))
+		}
 	}
 	return nil
 }

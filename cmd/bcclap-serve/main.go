@@ -44,7 +44,7 @@ func main() {
 	networkFile := flag.String("network", "", "network file: \"n m\" header then m lines \"from to capacity cost\"")
 	randomN := flag.Int("random", 0, "serve a random instance on N vertices instead of -network")
 	seed := flag.Int64("seed", 1, "random seed (instance generation and perturbations)")
-	backend := flag.String("backend", "", "AᵀDA solve backend: "+strings.Join(bcclap.FlowBackends(), ", ")+" (default dense)")
+	backend := flag.String("backend", "", "AᵀDA solve backend: "+strings.Join(bcclap.FlowBackends(), ", ")+" (default: auto — csr-pcg on sparse graphs, else dense)")
 	poolSize := flag.Int("pool", 4, "worker sessions in the solver pool")
 	shards := flag.Int("shards", 0, "terminal-pair shards (default: pool size)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request solve timeout (0 = no limit)")
@@ -153,7 +153,9 @@ type server struct {
 
 func newServer(solver *bcclap.FlowSolver, d *graph.Digraph, backend string, timeout time.Duration) *server {
 	if backend == "" {
-		backend = "dense"
+		// Report the auto-selected backend (csr-pcg on sparse networks,
+		// dense otherwise), matching what the worker sessions actually run.
+		backend = solver.Backend()
 	}
 	return &server{solver: solver, d: d, backend: backend, timeout: timeout, started: time.Now()}
 }

@@ -57,6 +57,124 @@ func TestSolverModeBackendNames(t *testing.T) {
 	}
 }
 
+// pathDigraph is an s→t chain; gridDigraph a rows×cols mesh with rightward
+// and downward arcs — the structured families the csr-pcg preconditioner
+// extracts its forest from.
+func pathDigraph(n int, rnd *rand.Rand) *graph.Digraph {
+	d := graph.NewDigraph(n)
+	for v := 0; v+1 < n; v++ {
+		if _, err := d.AddArc(v, v+1, 1+rnd.Int63n(3), rnd.Int63n(4)); err != nil {
+			panic(err)
+		}
+	}
+	return d
+}
+
+func gridDigraph(rows, cols int, rnd *rand.Rand) *graph.Digraph {
+	d := graph.NewDigraph(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	add := func(u, v int) {
+		if _, err := d.AddArc(u, v, 1+rnd.Int63n(3), rnd.Int63n(4)); err != nil {
+			panic(err)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				add(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				add(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return d
+}
+
+// csr-pcg must produce the same certified flows as the dense reference on
+// the path, grid and random families, and its session must build the
+// combinatorial preconditioner exactly once while refreshing it across
+// every IPM step and query (the cross-step, cross-query reuse the backend
+// exists for).
+func TestCSRPCGCertifiedFlowsAndReuse(t *testing.T) {
+	rnd := rand.New(rand.NewSource(43))
+	cases := map[string]*graph.Digraph{
+		"path":   pathDigraph(7, rnd),
+		"grid":   gridDigraph(2, 3, rnd),
+		"random": graph.RandomFlowNetwork(6, 0.3, 3, 3, rnd),
+	}
+	for name, d := range cases {
+		s, tt := 0, d.N()-1
+		wantV, wantC, _, err := MinCostMaxFlowSSP(d, s, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := NewSolver(d, Options{Backend: "csr-pcg"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prevRefreshes int
+		for q := 0; q < 2; q++ {
+			res, err := fs.Solve(t.Context(), s, tt)
+			if err != nil {
+				t.Fatalf("%s query %d: %v", name, q, err)
+			}
+			if res.Value != wantV || res.Cost != wantC {
+				t.Fatalf("%s query %d: (%d, %d) vs baseline (%d, %d)", name, q, res.Value, res.Cost, wantV, wantC)
+			}
+			if res.LPStats.PrecondBuilds != 1 {
+				t.Fatalf("%s query %d: PrecondBuilds = %d, want 1 (symbolic structure reused across queries)",
+					name, q, res.LPStats.PrecondBuilds)
+			}
+			if res.LPStats.PrecondRefreshes <= prevRefreshes {
+				t.Fatalf("%s query %d: PrecondRefreshes = %d did not advance past %d",
+					name, q, res.LPStats.PrecondRefreshes, prevRefreshes)
+			}
+			prevRefreshes = res.LPStats.PrecondRefreshes
+		}
+	}
+}
+
+// With no backend named, sessions auto-select: csr-pcg on big sparse
+// graphs, the dense reference on tiny or near-complete ones; the
+// deprecated Solver enum still wins over the auto rule.
+func TestDefaultBackendAutoSelection(t *testing.T) {
+	rnd := rand.New(rand.NewSource(44))
+	sparse := pathDigraph(64, rnd)
+	if got := DefaultBackendFor(sparse); got != "csr-pcg" {
+		t.Fatalf("sparse n=64 graph auto-selected %q, want csr-pcg", got)
+	}
+	tiny := pathDigraph(6, rnd)
+	if got := DefaultBackendFor(tiny); got != "dense" {
+		t.Fatalf("tiny graph auto-selected %q, want dense", got)
+	}
+	densegraph := graph.RandomFlowNetwork(40, 0.9, 3, 3, rnd)
+	if got := DefaultBackendFor(densegraph); got != "dense" {
+		t.Fatalf("near-complete graph auto-selected %q, want dense", got)
+	}
+	fs, err := NewSolver(sparse, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Backend() != "csr-pcg" {
+		t.Fatalf("session backend %q, want auto-selected csr-pcg", fs.Backend())
+	}
+	fs, err = NewSolver(sparse, Options{Solver: SolverGremban})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Backend() != "gremban" {
+		t.Fatalf("Solver enum overridden by auto rule: backend %q", fs.Backend())
+	}
+	fs, err = NewSolver(sparse, Options{Backend: "dense"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Backend() != "dense" {
+		t.Fatalf("explicit backend overridden: %q", fs.Backend())
+	}
+}
+
 func TestConfigureRejectsUnknownBackend(t *testing.T) {
 	d := diamond(t)
 	form, err := NewLPForm(d, 0, 3, rand.New(rand.NewSource(1)))

@@ -267,14 +267,13 @@ func (f *LPForm) Configure(backend string) error {
 		}
 		return nil
 	}
-	// Instantiate once and install the solver directly: this both validates
-	// the name up front (before the IPM starts) and spares lp.Solve from
-	// building the same backend a second time.
-	solve, err := lp.NewBackendSolver(backend, f.Prob.A)
-	if err != nil {
+	// Validate the name up front (before the IPM starts) but let the lp
+	// session instantiate the backend: the session then owns the solver's
+	// preconditioner counters and surfaces them in every Solution.
+	if err := lp.ValidateBackend(backend); err != nil {
 		return err
 	}
-	f.Prob.Solve = solve
+	f.Prob.Solve = nil
 	f.Prob.Backend = backend
 	return nil
 }

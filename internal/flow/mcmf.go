@@ -21,9 +21,10 @@ type Options struct {
 	// probability ≥ 1/2 per Daitch–Spielman; footnote 7's boosting).
 	Retries int
 	// Backend names the (AᵀDA) strategy from the lp backend registry
-	// ("dense", "gremban", "csr-cg", …); empty falls back to Solver, then
-	// to the dense reference. Unknown names fail fast with
-	// lp.ErrBackendUnknown when the solver is constructed.
+	// ("dense", "gremban", "csr-cg", "csr-pcg", …); empty falls back to
+	// Solver, then to the graph-dependent auto-selection of
+	// DefaultBackendFor. Unknown names fail fast with lp.ErrBackendUnknown
+	// when the solver is constructed.
 	Backend string
 	// Solver picks the (AᵀDA) strategy by enum.
 	//
@@ -59,19 +60,44 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// resolveBackend folds the deprecated Solver enum and the empty default
+// autoBackendMinVerts and autoBackendDensity gate the auto-selection of
+// DefaultBackendFor: below ~32 vertices the dense reference wins outright
+// (assembling the tiny AᵀDA is cheaper than any iteration), and above it
+// the preconditioned matrix-free pipeline wins exactly when the network is
+// sparse — fewer than n²/8 arcs, i.e. well away from a complete digraph
+// where the Gram matrix is dense anyway.
+const (
+	autoBackendMinVerts = 32
+	autoBackendDensity  = 8
+)
+
+// DefaultBackendFor returns the AᵀDA backend auto-selected for d when the
+// caller names none: "csr-pcg" — matrix-free CG with the spanner-built
+// combinatorial preconditioner — when the graph is sparse (n ≥ 32 and
+// m ≤ n²/8), the exact dense reference otherwise.
+func DefaultBackendFor(d *graph.Digraph) string {
+	n, m := d.N(), d.M()
+	if n >= autoBackendMinVerts && m*autoBackendDensity <= n*n {
+		return "csr-pcg"
+	}
+	return "dense"
+}
+
+// ResolveBackend folds the deprecated Solver enum and the empty default
 // into a single registry name, and validates it against the registry —
-// the one place the legacy knobs are translated. Unknown names fail here,
-// before any solve starts, with an error satisfying
-// errors.Is(err, lp.ErrBackendUnknown).
-func (o Options) resolveBackend() (string, error) {
+// the one place the legacy knobs are translated, shared with the public
+// layer so Stats.Backend always names what the sessions actually run.
+// With neither Backend nor Solver set, the backend is auto-selected per
+// DefaultBackendFor. Unknown names fail here, before any solve starts,
+// with an error satisfying errors.Is(err, lp.ErrBackendUnknown).
+func (o Options) ResolveBackend(d *graph.Digraph) (string, error) {
 	backend := o.Backend
 	if backend == "" {
-		mode := o.Solver
-		if mode == 0 {
-			mode = SolverDense
+		if o.Solver != 0 {
+			backend = o.Solver.BackendName()
+		} else {
+			backend = DefaultBackendFor(d)
 		}
-		backend = mode.BackendName()
 	}
 	if err := lp.ValidateBackend(backend); err != nil {
 		return "", err
@@ -146,12 +172,17 @@ func NewSolver(d *graph.Digraph, opts Options) (*Solver, error) {
 	if err := checkNonEmpty(d); err != nil {
 		return nil, err
 	}
-	backend, err := opts.resolveBackend()
+	backend, err := opts.ResolveBackend(d)
 	if err != nil {
 		return nil, err
 	}
 	return &Solver{d: d, opts: opts.withDefaults(), backend: backend, forms: map[Query]*formState{}}, nil
 }
+
+// Backend returns the resolved AᵀDA backend name this session solves
+// with — the explicit Options choice, or the DefaultBackendFor
+// auto-selection when none was named.
+func (fs *Solver) Backend() string { return fs.backend }
 
 // formFor returns the cached per-terminal state, building it on first use.
 func (fs *Solver) formFor(q Query) (*formState, error) {

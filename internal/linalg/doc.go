@@ -2,8 +2,11 @@
 // the Laplacian-paradigm pipeline: dense and CSR sparse matrices, graph
 // Laplacians, the LinOp operator layer (diagonal, scaled, transposed and
 // composed operators that apply A, D, Aᵀ without materializing products),
-// conjugate-gradient and preconditioned Chebyshev solvers, and spectral
-// utilities (Rayleigh quotients, pencil bounds).
+// conjugate-gradient and preconditioned Chebyshev solvers, reusable
+// preconditioners (Jacobi and the spanning-forest incomplete Cholesky of
+// precond.go, whose symbolic structure is built once and numerically
+// refreshed per reweight), and spectral utilities (Rayleigh quotients,
+// pencil bounds).
 //
 // Everything is float64 and stdlib-only. Vectors are plain []float64 so
 // they compose with the rest of the codebase without wrapper types.
@@ -15,9 +18,12 @@
 //     buffers and draw scratch from a Workspace arena, so a warmed-up
 //     solve allocates nothing — the property the session and pool layers
 //     are built around (one workspace per session, never shared).
-//   - Bit-for-bit parallel SpMV: the row-sharded CSR kernel sums each row
-//     in serial order, so its output is identical to the serial kernel
-//     for every shard count (property-tested and raced in CI).
+//   - Bit-for-bit parallel SpMV: the CSR kernel shards rows into blocks of
+//     balanced *nonzero* count (never row count — a hub row would
+//     serialize its shard) and sums each row in serial order, so its
+//     output is identical to the serial kernel for every shard count
+//     (property-tested and raced in CI). Below the nnz threshold the auto
+//     path stays serial: fan-out only ever pays above it.
 //   - Cancellation: the iterative solvers poll their context every 32
 //     iterations — frequent enough to abort within one outer
 //     path-following step, rare enough to keep the kernels branch-lean.

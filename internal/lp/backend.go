@@ -15,6 +15,13 @@
 //	csr-cg  — never materialize AᵀDA: apply A, D and Aᵀ as composed linear
 //	          operators inside Jacobi-preconditioned CG. O(nnz) per
 //	          iteration, and the only backend that scales past tiny n.
+//	csr-pcg — csr-cg with a combinatorial preconditioner: a spanning-forest
+//	          incomplete Cholesky whose support is extracted once per
+//	          session from the constraint matrix with the paper's
+//	          spanner/sparsifier machinery and only numerically refreshed
+//	          when the IPM reweights D (see precond.go). Fewer CG
+//	          iterations per solve on incidence-structured LPs; degrades to
+//	          Jacobi on general matrices.
 package lp
 
 import (
@@ -40,9 +47,30 @@ var ErrBackendUnknown = errors.New("lp: unknown backend")
 // solver is used sequentially; it need not be safe for concurrent calls.
 type BackendFactory func(a *linalg.CSR) (ATDASolve, error)
 
+// PrecondStats counts the combinatorial-preconditioner work of a backend
+// instance, cumulative over its lifetime (i.e. over the owning session):
+// Builds counts symbolic constructions — subgraph extraction, elimination
+// ordering — and Refreshes counts numeric refactorizations, one per
+// distinct barrier diagonal. A session whose Builds stays at 1 across
+// queries is reusing its symbolic structure, which is the point.
+type PrecondStats struct {
+	Builds    int
+	Refreshes int
+}
+
+// statsFactory is a BackendFactory that additionally exposes its
+// preconditioner counters; backends without a combinatorial preconditioner
+// register a plain BackendFactory and report nil stats.
+type statsFactory func(a *linalg.CSR) (ATDASolve, *PrecondStats, error)
+
+type backendEntry struct {
+	plain BackendFactory
+	stats statsFactory
+}
+
 var (
 	backendMu sync.RWMutex
-	backends  = map[string]BackendFactory{}
+	backends  = map[string]backendEntry{}
 )
 
 // RegisterBackend makes a named AᵀDA strategy available to Problem.Backend.
@@ -52,12 +80,24 @@ func RegisterBackend(name string, f BackendFactory) {
 	if name == "" || f == nil {
 		panic("lp: RegisterBackend with empty name or nil factory")
 	}
+	registerEntry(name, backendEntry{plain: f})
+}
+
+// registerStatsBackend registers a backend that reports PrecondStats.
+func registerStatsBackend(name string, f statsFactory) {
+	if name == "" || f == nil {
+		panic("lp: registerStatsBackend with empty name or nil factory")
+	}
+	registerEntry(name, backendEntry{stats: f})
+}
+
+func registerEntry(name string, e backendEntry) {
 	backendMu.Lock()
 	defer backendMu.Unlock()
 	if _, dup := backends[name]; dup {
 		panic(fmt.Sprintf("lp: backend %q registered twice", name))
 	}
-	backends[name] = f
+	backends[name] = e
 }
 
 // Backends returns the sorted names of all registered backends.
@@ -74,13 +114,26 @@ func Backends() []string {
 
 // NewBackendSolver instantiates the named backend for A.
 func NewBackendSolver(name string, a *linalg.CSR) (ATDASolve, error) {
+	solve, _, err := NewBackendSolverStats(name, a)
+	return solve, err
+}
+
+// NewBackendSolverStats instantiates the named backend for A and returns
+// its preconditioner counters when the backend maintains them (nil for
+// backends without a combinatorial preconditioner). The counters are live:
+// they advance as the returned solver is used.
+func NewBackendSolverStats(name string, a *linalg.CSR) (ATDASolve, *PrecondStats, error) {
 	backendMu.RLock()
-	f, ok := backends[name]
+	e, ok := backends[name]
 	backendMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w %q (registered: %v)", ErrBackendUnknown, name, Backends())
+		return nil, nil, fmt.Errorf("%w %q (registered: %v)", ErrBackendUnknown, name, Backends())
 	}
-	return f(a)
+	if e.stats != nil {
+		return e.stats(a)
+	}
+	solve, err := e.plain(a)
+	return solve, nil, err
 }
 
 // ValidateBackend reports whether name resolves in the registry without
@@ -108,6 +161,7 @@ func init() {
 	RegisterBackend("dense", denseBackend)
 	RegisterBackend("gremban", grembanBackend)
 	RegisterBackend("csr-cg", csrCGBackend)
+	registerStatsBackend("csr-pcg", csrPCGBackend)
 }
 
 // denseBackend assembles AᵀDA into a reused n×n buffer and factorizes it
@@ -149,52 +203,78 @@ func grembanBackend(a *linalg.CSR) (ATDASolve, error) {
 	}, nil
 }
 
-// csrCGBackend solves (AᵀDA)x = y without ever materializing the Gram
-// matrix: A, diag(D) and Aᵀ are applied as one composed LinOp inside
-// Jacobi-preconditioned conjugate gradients. All vectors live in a
-// workspace created once per factory call, so the Õ(√n) path steps of an
-// IPM run share their buffers.
-func csrCGBackend(a *linalg.CSR) (ATDASolve, error) {
-	n := a.Cols()
-	// op = Aᵀ · diag(dbuf) · A; dbuf is refreshed per call, so the composed
-	// operator tracks the current barrier diagonal without reconstruction.
-	dbuf := make([]float64, a.Rows())
-	ws := linalg.NewWorkspace()
-	op := linalg.Compose(ws, linalg.TransposeOp{A: a}, linalg.DiagOp{D: dbuf}, a)
-	diag := make([]float64, n)
+// mfCore is the state shared by the matrix-free backends (csr-cg and
+// csr-pcg): the composed operator op = Aᵀ·diag(dbuf)·A over a reusable
+// diagonal buffer, the Gram-diagonal buffer, and the CG workspace. One
+// core serves every solve of its backend instance, so the Õ(√n) path
+// steps of an IPM run share their buffers.
+type mfCore struct {
+	a          *linalg.CSR
+	op         *linalg.ComposedOp
+	ws         *linalg.Workspace
+	dbuf, diag []float64
+}
+
+func newMFCore(a *linalg.CSR) *mfCore {
+	c := &mfCore{
+		a:    a,
+		ws:   linalg.NewWorkspace(),
+		dbuf: make([]float64, a.Rows()),
+		diag: make([]float64, a.Cols()),
+	}
+	c.op = linalg.Compose(c.ws, linalg.TransposeOp{A: a}, linalg.DiagOp{D: c.dbuf}, a)
+	return c
+}
+
+// load installs a new barrier diagonal: the composed operator tracks it
+// through dbuf without reconstruction, and diag becomes diag(AᵀDA).
+func (c *mfCore) load(d []float64) {
+	copy(c.dbuf, d)
+	c.a.GramDiagTo(c.diag, d)
+}
+
+// newSolve wires the CG loop shared by the matrix-free backends. refresh
+// runs once per call before the solve and is where each backend installs d
+// (via load) and updates its preconditioner — csr-pcg additionally skips
+// the work when d is unchanged. Tolerance and iteration budget live here,
+// in exactly one place, so csr-cg and csr-pcg iteration counts stay
+// directly comparable (the invariant the e19 snapshot gate measures).
+func (c *mfCore) newSolve(refresh func(d []float64), precondTo func(dst, r []float64)) ATDASolve {
+	n := c.a.Cols()
 	x := make([]float64, n)
 	ax := make([]float64, n)
-	precondTo := func(dst, r []float64) {
-		for i := range r {
-			dst[i] = r[i] / diag[i]
-		}
-	}
 	return func(ctx context.Context, d, y []float64) ([]float64, int, error) {
-		if err := checkATDAArgs(a, d, y); err != nil {
+		if err := checkATDAArgs(c.a, d, y); err != nil {
 			return nil, 0, err
 		}
-		copy(dbuf, d)
-		a.GramDiagTo(diag, d)
-		for i, v := range diag {
-			if v <= 0 {
-				diag[i] = 1
-			}
-		}
+		refresh(d)
 		// The barrier weights span many orders of magnitude, so aim for a
 		// tight residual but accept poly(1/m) precision (all the IPM needs,
 		// as in the Gremban route).
-		iters, err := linalg.CGTo(ctx, x, op, y, 1e-10, 40*n+4000, precondTo, ws)
+		iters, err := linalg.CGTo(ctx, x, c.op, y, 1e-10, 40*n+4000, precondTo, c.ws)
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				return nil, iters, err
 			}
-			op.MulVecTo(ax, x)
+			c.op.MulVecTo(ax, x)
 			if linalg.Norm2(linalg.Sub(y, ax)) > 1e-6*(1+linalg.Norm2(y)) {
 				return nil, iters, err
 			}
 		}
 		return linalg.Clone(x), iters, nil
-	}, nil
+	}
+}
+
+// csrCGBackend solves (AᵀDA)x = y without ever materializing the Gram
+// matrix: A, diag(D) and Aᵀ are applied as one composed LinOp inside
+// Jacobi-preconditioned conjugate gradients.
+func csrCGBackend(a *linalg.CSR) (ATDASolve, error) {
+	core := newMFCore(a)
+	jac := linalg.NewJacobiPrecond(a.Cols())
+	return core.newSolve(func(d []float64) {
+		core.load(d)
+		jac.Refresh(core.diag)
+	}, jac.ApplyTo), nil
 }
 
 // assembleGram writes AᵀDA into gram (resetting it first), visiting each

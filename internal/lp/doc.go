@@ -11,9 +11,15 @@
 // as the caller's certificate, by design).
 //
 // The per-step normal equations (AᵀDA)x = y go through a pluggable backend
-// registry ("dense", "gremban", "csr-cg"; ValidateBackend/Backends) shared
-// with the flow layer, so the same IPM scales from the exact dense
-// reference to matrix-free CG that never materializes AᵀDA.
+// registry ("dense", "gremban", "csr-cg", "csr-pcg";
+// ValidateBackend/Backends) shared with the flow layer, so the same IPM
+// scales from the exact dense reference to matrix-free CG that never
+// materializes AᵀDA. The csr-pcg backend adds a combinatorial
+// preconditioner on top of the matrix-free path: a spanning-forest
+// incomplete Cholesky whose support is extracted once per session from the
+// constraint matrix with the paper's own spanner/sparsifier machinery and
+// only numerically refreshed when the IPM reweights D (precond.go); its
+// build/refresh counters surface in Solution.PrecondBuilds/Refreshes.
 //
 // Invariants:
 //

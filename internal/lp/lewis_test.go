@@ -24,7 +24,7 @@ func TestLewisWeightsPTwoAreLeverageScores(t *testing.T) {
 	m, n := 20, 4
 	a := tallMatrix(m, n, rnd)
 	prob := &Problem{A: a}
-	sol, err := prob.solver()
+	sol, _, err := prob.solver()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestLewisFixedPoint(t *testing.T) {
 	m, n := 24, 4
 	a := tallMatrix(m, n, rnd)
 	prob := &Problem{A: a}
-	sol, err := prob.solver()
+	sol, _, err := prob.solver()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestComputeInitialWeightsStepCountScales(t *testing.T) {
 		m := 3 * n
 		a := tallMatrix(m, n, rnd)
 		prob := &Problem{A: a}
-		sol, err := prob.solver()
+		sol, _, err := prob.solver()
 		if err != nil {
 			t.Fatal(err)
 		}

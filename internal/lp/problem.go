@@ -72,16 +72,17 @@ func (p *Problem) N() int { return p.A.Cols() }
 
 // solver instantiates the ATDASolve in use: the Solve override when set,
 // otherwise the registered backend named by Backend (DefaultBackend when
-// empty).
-func (p *Problem) solver() (ATDASolve, error) {
+// empty). The PrecondStats are the live counters of a combinatorial
+// preconditioner, nil for overrides and backends without one.
+func (p *Problem) solver() (ATDASolve, *PrecondStats, error) {
 	if p.Solve != nil {
-		return p.Solve, nil
+		return p.Solve, nil, nil
 	}
 	name := p.Backend
 	if name == "" {
 		name = DefaultBackend
 	}
-	return NewBackendSolver(name, p.A)
+	return NewBackendSolverStats(name, p.A)
 }
 
 // Residual returns ‖Aᵀx − b‖₂, the equality-constraint violation.

@@ -21,7 +21,11 @@ type Session struct {
 	prob  *Problem
 	bar   *Barriers
 	solve ATDASolve
-	scr   *scratch
+	// pstats are the live preconditioner counters of the backend (nil for
+	// backends without a combinatorial preconditioner); cumulative over
+	// the session, snapshotted into every Solution.
+	pstats *PrecondStats
+	scr    *scratch
 }
 
 // NewSession validates prob, instantiates its linear-solve backend (an
@@ -35,11 +39,11 @@ func NewSession(prob *Problem) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	solve, err := prob.solver()
+	solve, pstats, err := prob.solver()
 	if err != nil {
 		return nil, err
 	}
-	return &Session{prob: prob, bar: bar, solve: solve, scr: newScratch(prob.M(), prob.N())}, nil
+	return &Session{prob: prob, bar: bar, solve: solve, pstats: pstats, scr: newScratch(prob.M(), prob.N())}, nil
 }
 
 // newIPM builds the per-call solver state over the session's shared
@@ -50,11 +54,12 @@ func (sess *Session) newIPM(ctx context.Context, par Params) *ipm {
 	s := &ipm{
 		ctx: ctx, prob: sess.prob, bar: sess.bar, par: par,
 		m: m, n: n,
-		p:   1 - 1/math.Log(4*float64(m)),
-		c0:  float64(n) / (2 * float64(m)),
-		cK:  2 * math.Log(4*float64(m)),
-		sol: sess.solve,
-		scr: sess.scr,
+		p:      1 - 1/math.Log(4*float64(m)),
+		c0:     float64(n) / (2 * float64(m)),
+		cK:     2 * math.Log(4*float64(m)),
+		sol:    sess.solve,
+		pstats: sess.pstats,
+		scr:    sess.scr,
 	}
 	s.cNorm = 24 * math.Sqrt(4*s.cK)
 	s.etaW = 0.1
@@ -132,6 +137,10 @@ func (s *ipm) finish(x, w []float64, startRounds int) *Solution {
 	s.counts.Objective = s.prob.Objective(x)
 	if s.par.Net != nil {
 		s.counts.Rounds = s.par.Net.Rounds() - startRounds
+	}
+	if s.pstats != nil {
+		s.counts.PrecondBuilds = s.pstats.Builds
+		s.counts.PrecondRefreshes = s.pstats.Refreshes
 	}
 	out := s.counts
 	return &out

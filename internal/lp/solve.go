@@ -99,6 +99,13 @@ type Solution struct {
 	// CGIterations accumulates the inner iterations of the projection
 	// (AᵀDA)-solves across all centerings (0 for the dense backend).
 	CGIterations int
+	// PrecondBuilds and PrecondRefreshes snapshot the backend's
+	// combinatorial-preconditioner counters at the end of this solve (0 for
+	// backends without one). They are cumulative over the owning session,
+	// so a Builds count that stays at 1 across repeated solves is direct
+	// evidence the symbolic structure was reused.
+	PrecondBuilds    int
+	PrecondRefreshes int
 	// Rounds is the simulator round count consumed by this solve (0 without
 	// a network).
 	Rounds int
@@ -135,13 +142,14 @@ func newScratch(m, n int) *scratch {
 
 // ipm carries one solver run.
 type ipm struct {
-	ctx   context.Context
-	prob  *Problem
-	bar   *Barriers
-	par   Params
-	lev   LeverageFn
-	sol   ATDASolve
-	phase int // 1 = artificial cost, 2 = true cost, 3 = polish
+	ctx    context.Context
+	prob   *Problem
+	bar    *Barriers
+	par    Params
+	lev    LeverageFn
+	sol    ATDASolve
+	pstats *PrecondStats // live backend counters (nil without a preconditioner)
+	phase  int           // 1 = artificial cost, 2 = true cost, 3 = polish
 
 	m, n   int
 	p      float64 // Lewis exponent 1 − 1/log(4m)

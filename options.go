@@ -50,8 +50,13 @@ func applyOptions(opts []Option) config {
 }
 
 // WithBackend selects the AᵀDA linear-solve strategy by registry name
-// ("dense", "gremban", "csr-cg", …; FlowBackends lists them). An unknown
-// name makes the session constructor fail fast with ErrBackendUnknown.
+// ("dense", "gremban", "csr-cg", "csr-pcg", …; FlowBackends lists them).
+// Without it a NewFlowSolver auto-selects from the graph: "csr-pcg" —
+// matrix-free CG with the spanner-built combinatorial preconditioner —
+// when the flow network is sparse (n ≥ 32 vertices and m ≤ n²/8 arcs),
+// the exact dense reference otherwise. NewLPSolver has no graph to
+// inspect and defaults to prob.Backend (then "dense"). An unknown name
+// makes the session constructor fail fast with ErrBackendUnknown.
 // Applies to NewFlowSolver and NewLPSolver.
 func WithBackend(name string) Option {
 	return func(c *config) { c.backend = name }

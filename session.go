@@ -31,6 +31,15 @@ type Stats struct {
 	// kernels: projection-solve CG for flow/LP sessions, Chebyshev plus
 	// safeguard CG for Laplacian sessions.
 	CGIterations int
+	// PrecondBuilds and PrecondRefreshes report the backend's
+	// combinatorial-preconditioner counters (csr-pcg; 0 elsewhere),
+	// cumulative over the owning session: Builds counts symbolic
+	// constructions (subgraph extraction + elimination ordering, paid once
+	// per session) and Refreshes counts numeric refactorizations (one per
+	// distinct barrier diagonal). A Builds count that stays at 1 across
+	// queries is direct evidence the symbolic structure was reused.
+	PrecondBuilds    int
+	PrecondRefreshes int
 	// Attempts is the number of fresh flow perturbation attempts (0 for a
 	// warm-started batch query).
 	Attempts int
@@ -110,9 +119,12 @@ func NewFlowSolver(d *Digraph, opts ...Option) (*FlowSolver, error) {
 			prg(Event{Stage: "path-step", Phase: phase, Step: step, T: t})
 		}
 	}
-	backend := cfg.backend
-	if backend == "" {
-		backend = "dense"
+	// Resolve the backend through the same path the worker sessions use,
+	// so Stats.Backend reports the name actually run (the auto-selection
+	// included) and unknown names fail fast even in pooled mode.
+	backend, err := fopts.ResolveBackend(d)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.poolSize >= 1 || cfg.shards > 1 {
 		// The round-accounting simulator is single-stream (its phase state
@@ -226,6 +238,12 @@ func (fs *FlowSolver) Close() {
 	}
 }
 
+// Backend returns the AᵀDA backend name this solver's sessions use: the
+// WithBackend choice, or the auto-selected default (csr-pcg on sparse
+// graphs, dense otherwise) when none was named. It matches Stats.Backend
+// on every result.
+func (fs *FlowSolver) Backend() string { return fs.backend }
+
 // PoolSize returns the number of worker sessions (1 when not pooled).
 func (fs *FlowSolver) PoolSize() int {
 	if fs.pool == nil {
@@ -253,6 +271,8 @@ func (fs *FlowSolver) newResult(res *flow.Result) *FlowResult {
 			PathSteps:           res.LPStats.PathSteps,
 			Centerings:          res.LPStats.Centerings,
 			CGIterations:        res.LPStats.CGIterations,
+			PrecondBuilds:       res.LPStats.PrecondBuilds,
+			PrecondRefreshes:    res.LPStats.PrecondRefreshes,
 			Attempts:            res.Attempts,
 			Rounds:              res.Rounds,
 			WallTime:            res.WallTime,
@@ -318,6 +338,8 @@ func (l *LPSolver) Solve(ctx context.Context, x0 []float64, eps float64) (*LPSol
 		PathSteps:           sol.PathSteps,
 		Centerings:          sol.Centerings,
 		CGIterations:        sol.CGIterations,
+		PrecondBuilds:       sol.PrecondBuilds,
+		PrecondRefreshes:    sol.PrecondRefreshes,
 		Rounds:              sol.Rounds,
 		WallTime:            time.Since(start),
 		ReusedPreprocessing: l.used,
