@@ -61,8 +61,34 @@
 //	defer solver.Close()
 //	results, err := solver.SolveBatch(ctx, queries) // fans out, certified
 //
-// cmd/bcclap-serve wraps a pooled solver in an HTTP/JSON daemon (load a
-// network once, answer certified flow queries until drained).
+// # Multi-tenant service
+//
+// Service is the top of the API for production serving: one process
+// managing many named, versioned networks over the session/pool
+// machinery. Register ingests a digraph under a name and returns a
+// NetworkHandle — a pooled FlowSolver with per-network option overrides
+// layered over the service defaults — and Swap atomically replaces a
+// tenant's network (bumping its monotonic version and draining the old
+// solver) without disturbing other tenants:
+//
+//	svc := bcclap.NewService(bcclap.WithPoolSize(4))
+//	h, err := svc.Register("prod", d)
+//	res, err := h.Solve(ctx, s, t)     // certified; repeat queries hit the cache
+//	err = h.Swap(d2)                    // version 2, cache invalidated
+//
+// Because every flow answer is exact and deterministic, each handle
+// fronts its solver with a certified-result cache keyed by (network,
+// version, s, t): hits return the previously certified result — value,
+// cost and flow vector bit-identical to a fresh solve, Stats.CacheHit
+// set — in O(1) without touching the solver. WithCacheSize bounds the
+// per-network entry budget (0 disables); NetworkStats and ServiceStats
+// expose hit/miss/eviction counters. Lifecycle errors carry their own
+// sentinels: ErrNetworkUnknown, ErrNetworkExists.
+//
+// cmd/bcclap-serve exposes the service over REST (PUT/GET/DELETE
+// /v1/networks/{name}, per-tenant /flow and /stats routes), with the
+// legacy single-network /v1/flow surface kept as a compatibility layer
+// over a "default" tenant.
 //
 // Every entry point optionally runs against the round-accounting simulator
 // in internal/sim so that the paper's round-complexity claims can be

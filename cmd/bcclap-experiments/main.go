@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"bcclap"
 	"bcclap/internal/flow"
 	"bcclap/internal/graph"
 	"bcclap/internal/jl"
@@ -38,7 +39,7 @@ import (
 var flowBackend string
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e12, e15, e17, e19 or all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e12, e15, e17, e19, e20 or all)")
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	backend := flag.String("backend", "", "AᵀDA solve backend for the flow experiments: "+strings.Join(lp.Backends(), ", ")+" (default: auto — csr-pcg on sparse graphs, else dense)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (e.g. 10m; 0 = no limit)")
@@ -64,10 +65,10 @@ func run(ctx context.Context, exp string, quick bool) error {
 	all := map[string]func(context.Context, bool) error{
 		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6,
 		"e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11, "e12": e12,
-		"e15": e15, "e17": e17, "e19": e19,
+		"e15": e15, "e17": e17, "e19": e19, "e20": e20,
 	}
 	if exp == "all" {
-		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e15", "e17", "e19"} {
+		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e15", "e17", "e19", "e20"} {
 			if err := all[id](ctx, quick); err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}
@@ -600,6 +601,107 @@ func e19(ctx context.Context, quick bool) error {
 				res.LPStats.PrecondBuilds, res.LPStats.PrecondRefreshes, match,
 				time.Since(start).Round(time.Millisecond))
 		}
+	}
+	return nil
+}
+
+// e20: multi-tenant service layer — two named tenants behind one
+// bcclap.Service, a repeat-heavy production stream per tenant, and the
+// certified-result cache in front of each pooled solver: hit counts,
+// per-query wall clock cached vs uncached vs the single-tenant PR-3
+// baseline, and the swap-invalidation behavior (the table EXPERIMENTS.md
+// §e20 records; TestBenchServiceSnapshot gates it in CI).
+func e20(ctx context.Context, quick bool) error {
+	header("e20", "Service layer: multi-tenant certified-result cache vs single-tenant baseline")
+	repeats := 4
+	if quick {
+		repeats = 2
+	}
+	type tenant struct {
+		name string
+		d    *graph.Digraph
+	}
+	tenants := []tenant{
+		{"tenant-a", graph.RandomFlowNetwork(6, 0.35, 3, 3, rand.New(rand.NewSource(19)))},
+		{"tenant-b", graph.RandomFlowNetwork(6, 0.35, 3, 3, rand.New(rand.NewSource(20)))},
+	}
+	streams := map[string][]bcclap.FlowQuery{}
+	for _, tn := range tenants {
+		var pairs []bcclap.FlowQuery
+		for s := 0; s < tn.d.N() && len(pairs) < 3; s++ {
+			for t := tn.d.N() - 1; t > s && len(pairs) < 3; t-- {
+				if v, _, _, err := flow.MinCostMaxFlowSSP(tn.d, s, t); err == nil && v > 0 {
+					pairs = append(pairs, bcclap.FlowQuery{S: s, T: t})
+				}
+			}
+		}
+		var stream []bcclap.FlowQuery
+		for r := 0; r < repeats; r++ {
+			stream = append(stream, pairs...)
+		}
+		streams[tn.name] = stream
+	}
+
+	fmt.Println("| tenant | round | queries | hits | per-query | = baseline |")
+	fmt.Println("|---|---|---|---|---|---|")
+	for _, cached := range []bool{false, true} {
+		size := 0
+		if cached {
+			size = bcclap.DefaultCacheSize
+		}
+		svc := bcclap.NewService(bcclap.WithSeed(7), bcclap.WithPoolSize(2), bcclap.WithCacheSize(size))
+		for _, tn := range tenants {
+			h, err := svc.Register(tn.name, tn.d)
+			if err != nil {
+				return err
+			}
+			baseline, err := bcclap.NewFlowSolver(tn.d, bcclap.WithSeed(7), bcclap.WithPoolSize(2))
+			if err != nil {
+				return err
+			}
+			want, err := baseline.SolveBatch(ctx, streams[tn.name])
+			if err != nil {
+				return err
+			}
+			baseline.Close()
+			for round := 1; round <= 2; round++ {
+				before := h.Stats().Cache.Hits
+				start := time.Now()
+				got, err := h.SolveBatch(ctx, streams[tn.name])
+				if err != nil {
+					return err
+				}
+				perQuery := time.Since(start) / time.Duration(len(got))
+				match := "yes"
+				for i := range got {
+					if got[i].Value != want[i].Value || got[i].Cost != want[i].Cost {
+						match = "NO"
+					}
+				}
+				label := fmt.Sprintf("%s (uncached)", tn.name)
+				if cached {
+					label = fmt.Sprintf("%s (cache %d)", tn.name, size)
+				}
+				fmt.Printf("| %s | %d | %d | %d | %v | %s |\n",
+					label, round, len(got), h.Stats().Cache.Hits-before,
+					perQuery.Round(time.Microsecond), match)
+			}
+		}
+		if cached {
+			// Demonstrate whole-tenant invalidation: swap tenant-a and show
+			// its next round is cold again while tenant-b stays hot.
+			a, err := svc.Get("tenant-a")
+			if err != nil {
+				return err
+			}
+			if err := a.Swap(graph.RandomFlowNetwork(6, 0.35, 3, 3, rand.New(rand.NewSource(21)))); err != nil {
+				return err
+			}
+			st := svc.ServiceStats()
+			fmt.Printf("\nafter Swap(tenant-a): version=%d, invalidations=%d, tenant-b entries kept=%d\n",
+				st.PerNetwork[0].Version, st.PerNetwork[0].Cache.Invalidations, st.PerNetwork[1].Cache.Entries)
+		}
+		svc.Close()
 	}
 	return nil
 }

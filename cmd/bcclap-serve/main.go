@@ -1,21 +1,34 @@
-// Command bcclap-serve is an always-on HTTP/JSON daemon serving certified
-// min-cost max-flow queries over one network (Theorem 1.1 as a service).
-// The network is loaded once at startup; queries are answered by a sharded
-// pool of solver sessions (-pool worker sessions, -shards terminal-pair
-// shards), so concurrent clients never share solver state and repeated
-// terminal pairs warm-start inside their shard.
+// Command bcclap-serve is an always-on, multi-tenant HTTP/JSON daemon
+// serving certified min-cost max-flow queries (Theorem 1.1 as a service).
+// One process fronts many named, versioned flow networks through a
+// bcclap.Service: each tenant owns a sharded pool of solver sessions plus
+// a certified-result cache, networks are registered, swapped and retired
+// over REST without restarting the daemon, and repeated queries against
+// an unchanged network are answered in O(1) from the cache — bit-identical
+// to a fresh solve, because every result is exact and deterministic.
 //
 // Endpoints:
 //
-//	POST /v1/flow        {"s": 0, "t": 5, "include_flows": true}
-//	POST /v1/flow/batch  {"queries": [{"s": 0, "t": 5}, ...]}
-//	GET  /v1/stats       pool and request counters
-//	GET  /healthz        liveness probe
+//	PUT    /v1/networks/{name}            register (201) or atomically swap (200)
+//	GET    /v1/networks                   list tenants with stats
+//	GET    /v1/networks/{name}            one tenant's stats
+//	GET    /v1/networks/{name}/stats      alias of the above
+//	DELETE /v1/networks/{name}            drain and deregister
+//	POST   /v1/networks/{name}/flow       {"s": 0, "t": 5, "include_flows": true}
+//	POST   /v1/networks/{name}/flow/batch {"queries": [{"s": 0, "t": 5}, ...]}
+//	POST   /v1/flow                       legacy: routes to the "default" tenant
+//	POST   /v1/flow/batch                 legacy: routes to the "default" tenant
+//	GET    /v1/stats                      service-wide counters
+//	GET    /healthz                       liveness probe
 //
-// The network comes from -network FILE ("n m" header then m lines
-// "from to capacity cost") or -random N. SIGINT/SIGTERM drains gracefully:
-// the listener stops, in-flight solves finish (bounded by -drain-timeout),
-// then the pool shuts down.
+// The legacy single-network flags still work: -network FILE ("n m" header
+// then m lines "from to capacity cost") or -random N registers the
+// "default" tenant at startup, which is what the legacy /v1/flow routes
+// answer from. Without either flag the daemon starts empty and tenants
+// arrive over PUT. SIGINT/SIGTERM drains gracefully: the listener stops,
+// in-flight solves finish (bounded by -drain-timeout), then every tenant
+// shuts down; queries arriving during the drain are rejected with 503 and
+// a Retry-After header so load balancers back off instead of retrying hot.
 package main
 
 import (
@@ -26,10 +39,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -41,45 +56,60 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	networkFile := flag.String("network", "", "network file: \"n m\" header then m lines \"from to capacity cost\"")
-	randomN := flag.Int("random", 0, "serve a random instance on N vertices instead of -network")
+	networkFile := flag.String("network", "", "register a \"default\" network from file: \"n m\" header then m lines \"from to capacity cost\"")
+	randomN := flag.Int("random", 0, "register a random \"default\" network on N vertices instead of -network")
 	seed := flag.Int64("seed", 1, "random seed (instance generation and perturbations)")
-	backend := flag.String("backend", "", "AᵀDA solve backend: "+strings.Join(bcclap.FlowBackends(), ", ")+" (default: auto — csr-pcg on sparse graphs, else dense)")
-	poolSize := flag.Int("pool", 4, "worker sessions in the solver pool")
-	shards := flag.Int("shards", 0, "terminal-pair shards (default: pool size)")
+	backend := flag.String("backend", "", "default AᵀDA solve backend: "+strings.Join(bcclap.FlowBackends(), ", ")+" (default: auto — csr-pcg on sparse graphs, else dense)")
+	poolSize := flag.Int("pool", 4, "default worker sessions per network")
+	shards := flag.Int("shards", 0, "default terminal-pair shards per network (default: pool size)")
+	cacheSize := flag.Int("cache", bcclap.DefaultCacheSize, "default certified-result cache entries per network (0 disables)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request solve timeout (0 = no limit)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight solves")
 	flag.Parse()
 
-	if err := run(*addr, *networkFile, *randomN, *seed, *backend, *poolSize, *shards, *timeout, *drainTimeout); err != nil {
+	if err := run(*addr, *networkFile, *randomN, *seed, *backend, *poolSize, *shards, *cacheSize, *timeout, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "bcclap-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, networkFile string, randomN int, seed int64, backend string, poolSize, shards int, timeout, drainTimeout time.Duration) error {
+// defaultTenant is the name the legacy -network/-random flags and
+// /v1/flow routes operate on.
+const defaultTenant = "default"
+
+func run(addr, networkFile string, randomN int, seed int64, backend string, poolSize, shards, cacheSize int, timeout, drainTimeout time.Duration) error {
 	if poolSize < 1 {
 		return fmt.Errorf("-pool must be at least 1, got %d", poolSize)
 	}
-	d, err := loadNetwork(networkFile, randomN, seed)
-	if err != nil {
-		return err
+	opts := []bcclap.Option{
+		bcclap.WithSeed(seed),
+		bcclap.WithBackend(backend),
+		bcclap.WithPoolSize(poolSize),
+		bcclap.WithCacheSize(cacheSize),
 	}
-	opts := []bcclap.Option{bcclap.WithSeed(seed), bcclap.WithBackend(backend), bcclap.WithPoolSize(poolSize)}
 	if shards > 0 {
 		opts = append(opts, bcclap.WithShards(shards))
 	}
-	solver, err := bcclap.NewFlowSolver(d, opts...)
-	if err != nil {
-		return err
+	svc := bcclap.NewService(opts...)
+	if networkFile != "" || randomN > 0 {
+		d, err := loadNetwork(networkFile, randomN, seed)
+		if err != nil {
+			return err
+		}
+		h, err := svc.Register(defaultTenant, d)
+		if err != nil {
+			return err
+		}
+		log.Printf("bcclap-serve: registered %q (n=%d m=%d backend=%s pool=%d)",
+			defaultTenant, d.N(), d.M(), h.Backend(), poolSize)
 	}
-	s := newServer(solver, d, backend, timeout)
+	s := newServer(svc, timeout, drainTimeout, seed)
 
 	srv := &http.Server{Addr: addr, Handler: s.routes()}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("bcclap-serve: listening on %s (n=%d m=%d pool=%d backend=%s)",
-			addr, d.N(), d.M(), solver.PoolSize(), s.backend)
+		log.Printf("bcclap-serve: listening on %s (tenants=%d pool=%d cache=%d)",
+			addr, len(svc.Names()), poolSize, cacheSize)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
@@ -89,19 +119,19 @@ func run(addr, networkFile string, randomN int, seed int64, backend string, pool
 	defer stop()
 	select {
 	case err := <-errCh:
-		solver.Close()
+		svc.Close()
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("bcclap-serve: draining (budget %v)", drainTimeout)
+	log.Printf("bcclap-serve: draining %d tenants (budget %v)", len(svc.Names()), drainTimeout)
 	shCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shCtx); err != nil {
 		log.Printf("bcclap-serve: http shutdown: %v", err)
 	}
-	if err := solver.Drain(shCtx); err != nil {
-		log.Printf("bcclap-serve: pool drain: %v", err)
-		solver.Close()
+	if err := svc.Drain(shCtx); err != nil {
+		log.Printf("bcclap-serve: service drain: %v", err)
+		svc.Close()
 	}
 	log.Printf("bcclap-serve: stopped")
 	return nil
@@ -138,35 +168,210 @@ func readNetwork(f *os.File) (*graph.Digraph, error) {
 }
 
 // server carries the daemon state shared by all request goroutines: the
-// pooled solver (concurrency-safe), the immutable network, and counters.
+// multi-tenant service (concurrency-safe) and HTTP-level counters.
 type server struct {
-	solver  *bcclap.FlowSolver
-	d       *graph.Digraph
-	backend string
-	timeout time.Duration
-	started time.Time
+	svc         *bcclap.Service
+	timeout     time.Duration
+	retryAfter  string // Retry-After seconds advertised on 503
+	defaultSeed int64  // -seed: instance generation for "random_n" specs
+	started     time.Time
 
 	requests atomic.Int64 // HTTP requests accepted
 	solved   atomic.Int64 // queries answered with a certified flow
 	failed   atomic.Int64 // queries that returned an error
 }
 
-func newServer(solver *bcclap.FlowSolver, d *graph.Digraph, backend string, timeout time.Duration) *server {
-	if backend == "" {
-		// Report the auto-selected backend (csr-pcg on sparse networks,
-		// dense otherwise), matching what the worker sessions actually run.
-		backend = solver.Backend()
+func newServer(svc *bcclap.Service, timeout, drainTimeout time.Duration, defaultSeed int64) *server {
+	retry := int(math.Ceil(drainTimeout.Seconds()))
+	if retry < 1 {
+		retry = 1
 	}
-	return &server{solver: solver, d: d, backend: backend, timeout: timeout, started: time.Now()}
+	return &server{
+		svc:         svc,
+		timeout:     timeout,
+		retryAfter:  strconv.Itoa(retry),
+		defaultSeed: defaultSeed,
+		started:     time.Now(),
+	}
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/networks/{name}", s.handlePutNetwork)
+	mux.HandleFunc("GET /v1/networks", s.handleListNetworks)
+	mux.HandleFunc("GET /v1/networks/{name}", s.handleNetworkStats)
+	mux.HandleFunc("GET /v1/networks/{name}/stats", s.handleNetworkStats)
+	mux.HandleFunc("DELETE /v1/networks/{name}", s.handleDeleteNetwork)
+	mux.HandleFunc("POST /v1/networks/{name}/flow", s.handleFlow)
+	mux.HandleFunc("POST /v1/networks/{name}/flow/batch", s.handleBatch)
+	// Legacy single-network surface: thin compatibility routes over the
+	// "default" tenant (the one -network/-random registers).
 	mux.HandleFunc("POST /v1/flow", s.handleFlow)
 	mux.HandleFunc("POST /v1/flow/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// tenant resolves the request's target handle: the {name} path segment on
+// the /v1/networks routes, the "default" tenant on the legacy ones.
+func (s *server) tenant(r *http.Request) (*bcclap.NetworkHandle, error) {
+	name := r.PathValue("name")
+	if name == "" {
+		name = defaultTenant
+	}
+	return s.svc.Get(name)
+}
+
+// networkSpec is the PUT /v1/networks/{name} body: the network itself —
+// explicit arcs or a seeded random instance — plus per-tenant solver
+// overrides layered over the daemon-wide defaults.
+type networkSpec struct {
+	// N and Arcs define the network: Arcs entries are [from, to,
+	// capacity, cost] quadruples.
+	N    int        `json:"n"`
+	Arcs [][4]int64 `json:"arcs"`
+	// RandomN generates a random network instead (mutually exclusive
+	// with Arcs), using Seed.
+	RandomN int `json:"random_n,omitempty"`
+	// Per-tenant overrides; zero values inherit the daemon defaults.
+	Seed      *int64  `json:"seed,omitempty"`
+	Backend   *string `json:"backend,omitempty"`
+	Pool      *int    `json:"pool,omitempty"`
+	Shards    *int    `json:"shards,omitempty"`
+	CacheSize *int    `json:"cache_size,omitempty"`
+}
+
+// digraph materializes the spec's network. Random instances without an
+// explicit "seed" inherit the daemon's -seed default, matching the
+// legacy -random flag path.
+func (spec *networkSpec) digraph(defaultSeed int64) (*graph.Digraph, error) {
+	if spec.RandomN > 0 {
+		if len(spec.Arcs) > 0 {
+			return nil, errors.New("random_n and arcs are mutually exclusive")
+		}
+		seed := defaultSeed
+		if spec.Seed != nil {
+			seed = *spec.Seed
+		}
+		return graph.RandomFlowNetwork(spec.RandomN, 0.3, 3, 3, rand.New(rand.NewSource(seed))), nil
+	}
+	if spec.N <= 0 || len(spec.Arcs) == 0 {
+		return nil, errors.New(`network spec needs "n" and "arcs" (or "random_n")`)
+	}
+	d := graph.NewDigraph(spec.N)
+	for i, a := range spec.Arcs {
+		if _, err := d.AddArc(int(a[0]), int(a[1]), a[2], a[3]); err != nil {
+			return nil, fmt.Errorf("arc %d: %w", i, err)
+		}
+	}
+	return d, nil
+}
+
+// options translates the spec's overrides into session options.
+func (spec *networkSpec) options() []bcclap.Option {
+	var opts []bcclap.Option
+	if spec.Seed != nil {
+		opts = append(opts, bcclap.WithSeed(*spec.Seed))
+	}
+	if spec.Backend != nil {
+		opts = append(opts, bcclap.WithBackend(*spec.Backend))
+	}
+	if spec.Pool != nil {
+		opts = append(opts, bcclap.WithPoolSize(*spec.Pool))
+	}
+	if spec.Shards != nil {
+		opts = append(opts, bcclap.WithShards(*spec.Shards))
+	}
+	if spec.CacheSize != nil {
+		opts = append(opts, bcclap.WithCacheSize(*spec.CacheSize))
+	}
+	return opts
+}
+
+// networkResponse summarizes one tenant for the lifecycle endpoints.
+type networkResponse struct {
+	Name     string            `json:"name"`
+	Version  uint64            `json:"version"`
+	N        int               `json:"n"`
+	M        int               `json:"m"`
+	Backend  string            `json:"backend"`
+	PoolSize int               `json:"pool_size"`
+	Cache    bcclap.CacheStats `json:"cache"`
+	Pool     bcclap.PoolStats  `json:"pool"`
+}
+
+func toNetworkResponse(ns bcclap.NetworkStats) networkResponse {
+	return networkResponse{
+		Name:     ns.Name,
+		Version:  ns.Version,
+		N:        ns.Vertices,
+		M:        ns.Arcs,
+		Backend:  ns.Backend,
+		PoolSize: ns.PoolSize,
+		Cache:    ns.Cache,
+		Pool:     ns.Pool,
+	}
+}
+
+// handlePutNetwork registers a new tenant (201) or atomically swaps a
+// live one to the posted network (200, version bumped, cache flushed) —
+// one idempotent PUT vocabulary for both, podman-style.
+func (s *server) handlePutNetwork(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	name := r.PathValue("name")
+	var spec networkSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	d, err := spec.digraph(s.defaultSeed)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	status := http.StatusCreated
+	h, err := s.svc.Register(name, d, spec.options()...)
+	if errors.Is(err, bcclap.ErrNetworkExists) {
+		status = http.StatusOK
+		if h, err = s.svc.Get(name); err == nil {
+			err = h.Swap(d, spec.options()...)
+		}
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, status, toNetworkResponse(h.Stats()))
+}
+
+func (s *server) handleListNetworks(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	st := s.svc.ServiceStats()
+	nets := make([]networkResponse, len(st.PerNetwork))
+	for i, ns := range st.PerNetwork {
+		nets[i] = toNetworkResponse(ns)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"networks": nets})
+}
+
+func (s *server) handleNetworkStats(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	h, err := s.tenant(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toNetworkResponse(h.Stats()))
+}
+
+func (s *server) handleDeleteNetwork(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if err := s.svc.Deregister(r.PathValue("name")); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 type flowRequest struct {
@@ -188,6 +393,7 @@ type flowResponse struct {
 	Value       int64   `json:"value"`
 	Cost        int64   `json:"cost"`
 	PathSteps   int     `json:"path_steps"`
+	CacheHit    bool    `json:"cache_hit"`
 	WarmStarted bool    `json:"warm_started"`
 	Reused      bool    `json:"reused_preprocessing"`
 	WallMS      float64 `json:"wall_ms"`
@@ -207,6 +413,11 @@ func (s *server) solveCtx(r *http.Request) (context.Context, context.CancelFunc)
 
 func (s *server) handleFlow(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	h, err := s.tenant(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	var req flowRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
@@ -214,18 +425,23 @@ func (s *server) handleFlow(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.solveCtx(r)
 	defer cancel()
-	res, err := s.solver.Solve(ctx, req.S, req.T)
+	res, err := h.Solve(ctx, req.S, req.T)
 	if err != nil {
 		s.failed.Add(1)
-		writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
+		s.writeError(w, err)
 		return
 	}
 	s.solved.Add(1)
-	writeJSON(w, http.StatusOK, s.response(req, res))
+	writeJSON(w, http.StatusOK, response(req, res))
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	h, err := s.tenant(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
@@ -241,10 +457,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.solveCtx(r)
 	defer cancel()
-	results, err := s.solver.SolveBatch(ctx, queries)
+	results, err := h.SolveBatch(ctx, queries)
 	if err != nil {
 		s.failed.Add(int64(len(queries)))
-		writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
+		s.writeError(w, err)
 		return
 	}
 	s.solved.Add(int64(len(results)))
@@ -252,18 +468,19 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, res := range results {
 		q := req.Queries[i]
 		q.IncludeFlows = q.IncludeFlows || req.IncludeFlows
-		out[i] = s.response(q, res)
+		out[i] = response(q, res)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"results": out})
 }
 
-func (s *server) response(req flowRequest, res *bcclap.FlowResult) flowResponse {
+func response(req flowRequest, res *bcclap.FlowResult) flowResponse {
 	resp := flowResponse{
 		S:           req.S,
 		T:           req.T,
 		Value:       res.Value,
 		Cost:        res.Cost,
 		PathSteps:   res.PathSteps,
+		CacheHit:    res.Stats.CacheHit,
 		WarmStarted: res.Stats.WarmStarted,
 		Reused:      res.Stats.ReusedPreprocessing,
 		WallMS:      float64(res.Stats.WallTime.Microseconds()) / 1000,
@@ -276,17 +493,23 @@ func (s *server) response(req flowRequest, res *bcclap.FlowResult) flowResponse 
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	ps := s.solver.PoolStats()
+	st := s.svc.ServiceStats()
+	nets := make([]networkResponse, len(st.PerNetwork))
+	for i, ns := range st.PerNetwork {
+		nets[i] = toNetworkResponse(ns)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"network":      map[string]any{"n": s.d.N(), "m": s.d.M()},
-		"backend":      s.backend,
-		"pool":         ps,
+		"networks":     nets,
+		"tenants":      st.Networks,
+		"registered":   st.Registered,
+		"deregistered": st.Deregistered,
+		"swaps":        st.Swaps,
+		"cache":        st.Cache,
 		"requests":     s.requests.Load(),
 		"solved":       s.solved.Load(),
 		"failed":       s.failed.Load(),
 		"uptime_ms":    time.Since(s.started).Milliseconds(),
 		"timeout_ms":   s.timeout.Milliseconds(),
-		"warm_started": ps.WarmStarted,
 	})
 }
 
@@ -294,11 +517,27 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// writeError maps a session/service error onto its HTTP status. A 503
+// (shutdown in progress) additionally advertises Retry-After sized to the
+// drain budget, so load balancers back off instead of hammering a
+// draining instance.
+func (s *server) writeError(w http.ResponseWriter, err error) {
+	status := statusOf(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", s.retryAfter)
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
 // statusOf maps the session API's sentinel errors onto HTTP statuses.
 func statusOf(err error) int {
 	switch {
 	case errors.Is(err, bcclap.ErrBadQuery):
 		return http.StatusBadRequest
+	case errors.Is(err, bcclap.ErrNetworkUnknown):
+		return http.StatusNotFound
+	case errors.Is(err, bcclap.ErrNetworkExists):
+		return http.StatusConflict
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

@@ -1,6 +1,8 @@
 package bcclap
 
 import (
+	"errors"
+
 	"bcclap/internal/flow"
 	"bcclap/internal/lapsolver"
 	"bcclap/internal/lp"
@@ -31,8 +33,17 @@ var (
 	// for the LP (outside the box interior or violating Aᵀx = b).
 	ErrInfeasible = lp.ErrInfeasible
 
-	// ErrSolverClosed marks a query submitted to a pooled FlowSolver after
-	// Drain or Close began, or a queued query abandoned by an aborting
-	// shutdown.
+	// ErrSolverClosed marks a query submitted to a FlowSolver after Drain
+	// or Close began (pooled or not), a queued query abandoned by an
+	// aborting shutdown, or an operation on a Service or NetworkHandle
+	// whose shutdown has begun.
 	ErrSolverClosed = pool.ErrClosed
+
+	// ErrNetworkUnknown marks a Service operation naming a network that is
+	// not (or no longer) registered.
+	ErrNetworkUnknown = errors.New("bcclap: unknown network")
+
+	// ErrNetworkExists marks a Service.Register under a name that is
+	// already taken; use Get + Swap to replace a live network.
+	ErrNetworkExists = errors.New("bcclap: network already registered")
 )

@@ -94,3 +94,47 @@ func ExampleFlowSolver_Solve_cancellation() {
 	// bad query: true
 	// unknown backend: true
 }
+
+// A Service is the multi-tenant top of the API: one process managing many
+// named, versioned networks, each behind a pooled solver and a
+// certified-result cache. Results are exact and deterministic, so cached
+// answers are bit-identical to fresh ones; Swap atomically replaces a
+// tenant's network, bumping its version and invalidating exactly that
+// tenant's cache.
+func ExampleService() {
+	svc := bcclap.NewService(bcclap.WithSeed(7), bcclap.WithCacheSize(64))
+	h, err := svc.Register("prod", exampleNetwork())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	fresh, err := h.Solve(ctx, 0, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cached, err := h.Solve(ctx, 0, 3) // O(1): served from the cache
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("v%d fresh:  value=%d cost=%d cached=%v\n", h.Version(), fresh.Value, fresh.Cost, fresh.Stats.CacheHit)
+	fmt.Printf("v%d repeat: value=%d cost=%d cached=%v\n", h.Version(), cached.Value, cached.Cost, cached.Stats.CacheHit)
+
+	// Swapping the network bumps the version and invalidates the cache.
+	if err := h.Swap(exampleNetwork()); err != nil {
+		log.Fatal(err)
+	}
+	after, err := h.Solve(ctx, 0, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("v%d swap:   value=%d cost=%d cached=%v\n", h.Version(), after.Value, after.Cost, after.Stats.CacheHit)
+
+	if err := svc.Drain(ctx); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// v1 fresh:  value=3 cost=7 cached=false
+	// v1 repeat: value=3 cost=7 cached=true
+	// v2 swap:   value=3 cost=7 cached=false
+}

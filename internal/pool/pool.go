@@ -311,6 +311,15 @@ func (p *Pool) beginShutdown() {
 	p.mu.Unlock()
 }
 
+// Closed reports whether shutdown (Drain or Close) has begun: once true,
+// no new query will ever be accepted. The service layer's swap/drain path
+// uses it to distinguish a retiring solver from a serving one.
+func (p *Pool) Closed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
 // Drain gracefully shuts the pool down: intake stops immediately, queued
 // and running queries are allowed to finish, and Drain returns nil once
 // every worker has exited. If ctx expires first, the remaining work is

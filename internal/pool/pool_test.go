@@ -285,6 +285,88 @@ func TestPoolDrainCancellation(t *testing.T) {
 	}
 }
 
+// Drain racing in-flight SolveBatch callers (run under -race in CI's
+// dedicated pool step): every batch must either complete fully — all
+// results present and correct — or fail atomically with ErrClosed; no
+// mixed outcome, no lost task, and Closed() must report shutdown. The
+// submit loop inside SolveBatch is deliberately raced against
+// beginShutdown here: a batch caught mid-submission has its accepted
+// prefix resolved (completed or failed) before Drain returns, so the
+// inflight accounting can never leak.
+func TestPoolDrainRacesSolveBatch(t *testing.T) {
+	p := fakePool(t, 2, 3, time.Millisecond)
+	if p.Closed() {
+		t.Fatal("fresh pool reports Closed")
+	}
+	queries := []flow.Query{
+		{S: 0, T: 5}, {S: 1, T: 6}, {S: 2, T: 7}, {S: 0, T: 5}, {S: 3, T: 8},
+	}
+	const callers = 6
+	var (
+		wg      sync.WaitGroup
+		started sync.WaitGroup
+		results = make([][]*flow.Result, callers)
+		errs    = make([]error, callers)
+	)
+	started.Add(callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			started.Done()
+			for {
+				res, err := p.SolveBatch(context.Background(), queries)
+				if err != nil {
+					results[c], errs[c] = nil, err
+					return
+				}
+				results[c], errs[c] = res, nil
+				if p.Closed() {
+					return
+				}
+			}
+		}(c)
+	}
+	started.Wait()
+	time.Sleep(3 * time.Millisecond) // batches mid-flight
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !p.Closed() {
+		t.Fatal("Closed() false after Drain")
+	}
+	wg.Wait()
+	completed := 0
+	for c := 0; c < callers; c++ {
+		switch {
+		case errs[c] == nil:
+			completed++
+			for i, r := range results[c] {
+				if r == nil {
+					t.Fatalf("caller %d: batch reported success with missing result %d", c, i)
+				}
+				if want := int64(queries[i].S*1000 + queries[i].T); r.Value != want {
+					t.Fatalf("caller %d result %d: value %d, want %d", c, i, r.Value, want)
+				}
+			}
+		case errors.Is(errs[c], ErrClosed):
+			// Atomic rejection: the whole batch failed, nothing partial.
+			if results[c] != nil {
+				t.Fatalf("caller %d: results alongside ErrClosed", c)
+			}
+		default:
+			t.Fatalf("caller %d: unexpected error %v", c, errs[c])
+		}
+	}
+	if completed == 0 {
+		t.Fatal("every batch was rejected; the race never exercised completion")
+	}
+	st := p.Stats()
+	if st.Completed+st.Failed != st.Submitted {
+		t.Fatalf("task accounting leaked: %+v", st)
+	}
+}
+
 // Close must abort immediately and be idempotent.
 func TestPoolClose(t *testing.T) {
 	p := fakePool(t, 2, 1, time.Hour)

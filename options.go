@@ -37,6 +37,8 @@ type config struct {
 	progress       func(Event)
 	sparsifyParams SparsifyParams
 	lpParams       LPParams
+	cacheSize      int
+	cacheSizeSet   bool
 }
 
 func applyOptions(opts []Option) config {
@@ -129,6 +131,19 @@ func WithShards(s int) Option {
 // be safe for concurrent use. Applies to NewFlowSolver and NewLPSolver.
 func WithProgress(fn func(Event)) Option {
 	return func(c *config) { c.progress = fn }
+}
+
+// WithCacheSize bounds the certified-result cache a Service places in
+// front of each NetworkHandle to n entries (per network). 0 disables
+// caching for the network; without this option the service default
+// applies (DefaultCacheSize, itself overridable by passing WithCacheSize
+// to NewService). Cached answers are bit-identical to fresh solves —
+// results are certified and deterministic, so the cache is a pure
+// latency/throughput optimization; Stats.CacheHit and the hit/miss/
+// eviction counters in NetworkStats and ServiceStats make it observable.
+// Applies to NewService and Service.Register/Swap.
+func WithCacheSize(n int) Option {
+	return func(c *config) { c.cacheSize = n; c.cacheSizeSet = true }
 }
 
 // WithLPParams overrides the interior-point parameters (step size,

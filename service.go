@@ -1,0 +1,548 @@
+package bcclap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"bcclap/internal/cache"
+)
+
+// DefaultCacheSize is the per-network certified-result cache budget a
+// Service applies when neither NewService nor Register/Swap passed
+// WithCacheSize. WithCacheSize(0) disables caching for a network.
+const DefaultCacheSize = 1024
+
+// CacheStats re-exports the certified-result cache counters (hits,
+// misses, budget evictions, flush invalidations, current entries against
+// the budget).
+type CacheStats = cache.Stats
+
+// Service is the multi-tenant top of the API: one process managing many
+// named, versioned flow networks over the session/pool machinery, the way
+// a container daemon fronts many named objects with one lifecycle
+// vocabulary. Register ingests a network under a name and returns its
+// NetworkHandle; Get resolves a name; Swap atomically replaces a tenant's
+// network (draining the old solver, bumping the handle's version) without
+// disturbing queries on other tenants; Deregister retires one.
+//
+// Every handle wraps a pooled FlowSolver — per-network WithBackend /
+// WithPoolSize / WithSeed / WithCacheSize overrides layer over the
+// service-level defaults given to NewService — and fronts it with a
+// sharded LRU of certified results keyed by (network, version, s, t).
+// Since solves are exact and deterministic, cached answers are
+// bit-identical to fresh ones, turning repeated production queries into
+// O(1) lookups; the cache is invalidated whole-tenant on Swap and
+// Deregister, and its hit/miss/eviction counters surface in NetworkStats
+// and ServiceStats.
+//
+// All Service and NetworkHandle methods are safe for concurrent use.
+type Service struct {
+	defaults []Option
+
+	mu     sync.RWMutex
+	nets   map[string]*NetworkHandle
+	closed bool
+
+	registered, deregistered, swaps atomic.Int64
+}
+
+// NetworkStats describes one tenant: identity (name, monotonic version),
+// network size, solver configuration and the pool/cache counters.
+type NetworkStats struct {
+	// Name and Version identify the tenant; Version starts at 1 and is
+	// bumped by every successful Swap.
+	Name    string
+	Version uint64
+	// Vertices and Arcs size the currently served network.
+	Vertices, Arcs int
+	// Backend is the resolved AᵀDA backend name; PoolSize the worker-
+	// session count behind the handle.
+	Backend  string
+	PoolSize int
+	// Pool snapshots the solver pool counters, Cache the certified-result
+	// cache counters.
+	Pool  PoolStats
+	Cache CacheStats
+}
+
+// ServiceStats aggregates the whole service: tenant count, lifecycle
+// counters and the per-tenant records (sorted by name), plus the cache
+// counters summed across tenants.
+type ServiceStats struct {
+	// Networks is the number of currently registered tenants.
+	Networks int
+	// Registered, Deregistered and Swaps count lifecycle events since
+	// NewService.
+	Registered, Deregistered, Swaps int64
+	// Cache sums the per-tenant cache counters.
+	Cache CacheStats
+	// PerNetwork holds one record per live tenant, sorted by name.
+	PerNetwork []NetworkStats
+}
+
+// NewService builds an empty service. opts become the service-level
+// defaults that every Register and Swap layers its per-network options
+// over (later options win), so a fleet-wide backend, seed, pool size or
+// cache budget is stated once:
+//
+//	svc := bcclap.NewService(bcclap.WithBackend("csr-pcg"), bcclap.WithPoolSize(4))
+//	h, err := svc.Register("prod-eu", d, bcclap.WithPoolSize(8)) // overrides pool only
+//
+// Handles are always pooled (WithPoolSize(1) is implied) so that every
+// tenant is safe for concurrent use and can be drained independently;
+// WithNetwork is therefore rejected by Register, as it is for any pooled
+// solver.
+func NewService(opts ...Option) *Service {
+	return &Service{
+		defaults: slices.Clone(opts),
+		nets:     make(map[string]*NetworkHandle),
+	}
+}
+
+// validName rejects names that cannot round-trip through the REST surface
+// (path segments) or read back ambiguously in logs.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("bcclap: network name must be non-empty")
+	}
+	if len(name) > 128 {
+		return fmt.Errorf("bcclap: network name longer than 128 bytes")
+	}
+	if strings.ContainsAny(name, "/ \t\n") {
+		return fmt.Errorf("bcclap: network name %q contains '/' or whitespace", name)
+	}
+	return nil
+}
+
+// newTenantSolver builds the pooled FlowSolver for one tenant from the
+// fully merged option slice and resolves its cache budget.
+func newTenantSolver(d *Digraph, merged []Option) (solver *FlowSolver, cacheSize int, err error) {
+	// Pool floor: handles must always be pooled (concurrency-safe and
+	// drainable for Swap), so an absent or non-positive WithPoolSize is
+	// clamped to 1 — appended last so it beats the invalid value, while
+	// any explicit positive choice keeps winning on its own.
+	cfg := applyOptions(merged)
+	opts := merged
+	if cfg.poolSize < 1 {
+		opts = append(slices.Clone(merged), WithPoolSize(1))
+	}
+	solver, err = NewFlowSolver(d, opts...)
+	if err != nil {
+		return nil, 0, err
+	}
+	size := DefaultCacheSize
+	if cfg.cacheSizeSet {
+		size = cfg.cacheSize
+	}
+	return solver, size, nil
+}
+
+// Register ingests d under name and returns its handle. The per-network
+// opts layer over the NewService defaults; a taken name fails with
+// ErrNetworkExists (swap a live network through its handle instead), and
+// solver construction failures (empty digraph, unknown backend) surface
+// unchanged. The handle starts at version 1 with an empty cache.
+func (s *Service) Register(name string, d *Digraph, opts ...Option) (*NetworkHandle, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	merged := append(slices.Clone(s.defaults), opts...)
+	// Construct outside the lock: solver construction does real work and
+	// must not serialize tenants; the name reservation below re-checks.
+	solver, cacheSize, err := newTenantSolver(d, merged)
+	if err != nil {
+		return nil, err
+	}
+	h := &NetworkHandle{
+		name:    name,
+		svc:     s,
+		opts:    merged,
+		solver:  solver,
+		d:       d,
+		version: 1,
+		cache:   cache.New[*FlowResult](cacheSize),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		solver.Close()
+		return nil, fmt.Errorf("bcclap: service: %w", ErrSolverClosed)
+	}
+	if _, taken := s.nets[name]; taken {
+		s.mu.Unlock()
+		solver.Close()
+		return nil, fmt.Errorf("bcclap: network %q: %w", name, ErrNetworkExists)
+	}
+	s.nets[name] = h
+	s.mu.Unlock()
+	s.registered.Add(1)
+	return h, nil
+}
+
+// Get resolves a registered network by name (ErrNetworkUnknown otherwise).
+func (s *Service) Get(name string) (*NetworkHandle, error) {
+	s.mu.RLock()
+	h, ok := s.nets[name]
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return nil, fmt.Errorf("bcclap: service: %w", ErrSolverClosed)
+	}
+	if !ok {
+		return nil, fmt.Errorf("bcclap: network %q: %w", name, ErrNetworkUnknown)
+	}
+	return h, nil
+}
+
+// Deregister retires the named network: the name is freed immediately,
+// the tenant's cache is invalidated, and the handle's solver is drained —
+// in-flight queries finish, later ones fail with ErrSolverClosed. Other
+// tenants are untouched. Unknown names fail with ErrNetworkUnknown.
+func (s *Service) Deregister(name string) error {
+	s.mu.Lock()
+	h, ok := s.nets[name]
+	if ok {
+		delete(s.nets, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("bcclap: network %q: %w", name, ErrNetworkUnknown)
+	}
+	s.deregistered.Add(1)
+	return h.retire(context.Background())
+}
+
+// Names lists the registered networks, sorted.
+func (s *Service) Names() []string {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.nets))
+	for name := range s.nets {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	slices.Sort(names)
+	return names
+}
+
+// ServiceStats snapshots the whole service: lifecycle counters plus one
+// NetworkStats per live tenant (sorted by name) and the cache counters
+// summed across tenants.
+func (s *Service) ServiceStats() ServiceStats {
+	s.mu.RLock()
+	handles := make([]*NetworkHandle, 0, len(s.nets))
+	for _, h := range s.nets {
+		handles = append(handles, h)
+	}
+	s.mu.RUnlock()
+	st := ServiceStats{
+		Networks:     len(handles),
+		Registered:   s.registered.Load(),
+		Deregistered: s.deregistered.Load(),
+		Swaps:        s.swaps.Load(),
+	}
+	for _, h := range handles {
+		ns := h.Stats()
+		st.Cache = st.Cache.Add(ns.Cache)
+		st.PerNetwork = append(st.PerNetwork, ns)
+	}
+	slices.SortFunc(st.PerNetwork, func(a, b NetworkStats) int {
+		return strings.Compare(a.Name, b.Name)
+	})
+	return st
+}
+
+// Drain gracefully shuts the whole service down: intake stops (Register,
+// Get and every handle's Solve fail with ErrSolverClosed), every tenant's
+// in-flight queries finish within ctx's budget, and the first drain error
+// (if any) is returned after all tenants have stopped.
+func (s *Service) Drain(ctx context.Context) error {
+	handles := s.takeAll()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for _, h := range handles {
+		wg.Add(1)
+		go func(h *NetworkHandle) {
+			defer wg.Done()
+			if err := h.retire(ctx); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("bcclap: drain network %q: %w", h.name, err)
+				}
+				mu.Unlock()
+			}
+		}(h)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Close shuts the service down immediately: every tenant's queued queries
+// fail and running solves are canceled within one solver iteration. Safe
+// to call after Drain, and more than once.
+func (s *Service) Close() {
+	for _, h := range s.takeAll() {
+		h.mu.Lock()
+		h.closed = true
+		solver := h.solver
+		h.cache.Flush()
+		h.mu.Unlock()
+		solver.Close()
+	}
+}
+
+// takeAll marks the service closed and empties the registry, returning
+// the tenants that still need shutting down.
+func (s *Service) takeAll() []*NetworkHandle {
+	s.mu.Lock()
+	s.closed = true
+	handles := make([]*NetworkHandle, 0, len(s.nets))
+	for _, h := range s.nets {
+		handles = append(handles, h)
+	}
+	s.nets = make(map[string]*NetworkHandle)
+	s.mu.Unlock()
+	return handles
+}
+
+// NetworkHandle is one tenant of a Service: a named, versioned network
+// behind a pooled FlowSolver and a certified-result cache. Handles are
+// safe for concurrent use; they stay valid across Swap (queries in flight
+// during a swap finish against the network they started on) and fail with
+// ErrSolverClosed once their network is deregistered.
+type NetworkHandle struct {
+	name string
+	svc  *Service
+
+	mu      sync.RWMutex
+	opts    []Option // merged service defaults + register/swap overrides
+	solver  *FlowSolver
+	d       *Digraph
+	version uint64
+	cache   *cache.Cache[*FlowResult]
+	closed  bool
+}
+
+// Name returns the tenant's registered name.
+func (h *NetworkHandle) Name() string { return h.name }
+
+// Version returns the monotonic network version: 1 at Register, bumped by
+// every successful Swap. Cached results are keyed by it, so a version
+// bump makes every pre-swap entry unreachable.
+func (h *NetworkHandle) Version() uint64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.version
+}
+
+// Backend returns the resolved AᵀDA backend name of the current solver.
+func (h *NetworkHandle) Backend() string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.solver.Backend()
+}
+
+// snapshot pins the serving state for one query: the solver, the version
+// its answers certify against, and the cache.
+func (h *NetworkHandle) snapshot() (*FlowSolver, uint64, *cache.Cache[*FlowResult], error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if h.closed {
+		return nil, 0, nil, fmt.Errorf("bcclap: network %q: %w", h.name, ErrSolverClosed)
+	}
+	return h.solver, h.version, h.cache, nil
+}
+
+// cloneResult detaches a FlowResult from the cache (or the cache from the
+// caller): same value, cost and bit-identical flow vector, with the
+// CacheHit flag set as requested.
+func cloneResult(res *FlowResult, hit bool) *FlowResult {
+	out := *res
+	out.Flows = slices.Clone(res.Flows)
+	out.Stats.CacheHit = hit
+	return &out
+}
+
+// store inserts a freshly certified result, unless the network was
+// swapped or retired while the solve ran (the version re-check and the
+// Put are under one read lock, so a concurrent Swap — which flushes under
+// the write lock — can never leave a stale entry behind).
+func (h *NetworkHandle) store(ver uint64, key cache.Key, res *FlowResult) {
+	h.mu.RLock()
+	if !h.closed && h.version == ver {
+		h.cache.Put(key, cloneResult(res, false))
+	}
+	h.mu.RUnlock()
+}
+
+// swappedSince reports whether an ErrSolverClosed from a pinned solver
+// means the query merely lost a race with Swap — the snapshot retired
+// between pinning and submission, and the tenant is still serving on a
+// newer version — rather than the tenant itself being shut down.
+func (h *NetworkHandle) swappedSince(ver uint64) bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return !h.closed && h.version != ver
+}
+
+// Solve answers one (s, t) query: a cache hit returns the previously
+// certified result in O(1) — bit-identical in value, cost and flow vector
+// to a fresh solve, with Stats.CacheHit set — and a miss solves on the
+// tenant's pool and populates the cache. A query that loses the race with
+// a concurrent Swap transparently retries on the new network, so tenants
+// never observe spurious shutdown errors from their own swaps. Sentinels
+// match FlowSolver.Solve (ErrBadQuery, ctx errors), plus ErrSolverClosed
+// after Deregister.
+func (h *NetworkHandle) Solve(ctx context.Context, s, t int) (*FlowResult, error) {
+	for {
+		solver, ver, c, err := h.snapshot()
+		if err != nil {
+			return nil, err
+		}
+		key := cache.Key{Version: ver, S: s, T: t}
+		if res, ok := c.Get(key); ok {
+			return cloneResult(res, true), nil
+		}
+		res, err := solver.Solve(ctx, s, t)
+		if errors.Is(err, ErrSolverClosed) && h.swappedSince(ver) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		h.store(ver, key, res)
+		return res, nil
+	}
+}
+
+// SolveBatch answers a batch with the cache in front: hits are filled
+// in O(1), and only the misses fan out to the tenant's pool (repeated
+// misses inside one batch still warm-start there). Results come back in
+// query order and every answer — cached or fresh — is certified exact.
+func (h *NetworkHandle) SolveBatch(ctx context.Context, queries []FlowQuery) ([]*FlowResult, error) {
+	for {
+		solver, ver, c, err := h.snapshot()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*FlowResult, len(queries))
+		var (
+			missIdx []int
+			misses  []FlowQuery
+		)
+		for i, q := range queries {
+			if res, ok := c.Get(cache.Key{Version: ver, S: q.S, T: q.T}); ok {
+				out[i] = cloneResult(res, true)
+			} else {
+				missIdx = append(missIdx, i)
+				misses = append(misses, q)
+			}
+		}
+		if len(misses) > 0 {
+			fresh, err := solver.SolveBatch(ctx, misses)
+			if errors.Is(err, ErrSolverClosed) && h.swappedSince(ver) {
+				// Lost the race with Swap: the whole batch re-runs against
+				// the new network (its version keys a flushed cache, so
+				// pre-swap hits cannot leak into the answer).
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			for j, res := range fresh {
+				out[missIdx[j]] = res
+				h.store(ver, cache.Key{Version: ver, S: misses[j].S, T: misses[j].T}, res)
+			}
+		}
+		return out, nil
+	}
+}
+
+// Swap atomically replaces the tenant's network with d: a new pooled
+// solver is built first (per-call opts layer over the handle's existing
+// options and stick for future swaps), then — under one critical section
+// — the solver is switched, the version bumped and the tenant's cache
+// invalidated. Queries in flight at the switch finish against the old
+// network (its solver is drained, not killed), queries after it certify
+// against d, and no other tenant is disturbed at any point. A failed
+// construction (empty digraph, unknown backend) leaves the handle
+// serving the old network unchanged.
+func (h *NetworkHandle) Swap(d *Digraph, opts ...Option) error {
+	h.mu.RLock()
+	merged := append(slices.Clone(h.opts), opts...)
+	h.mu.RUnlock()
+	solver, cacheSize, err := newTenantSolver(d, merged)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		solver.Close()
+		return fmt.Errorf("bcclap: network %q: %w", h.name, ErrSolverClosed)
+	}
+	old := h.solver
+	h.opts = merged
+	h.solver = solver
+	h.d = d
+	h.version++
+	// Whole-tenant invalidation. The cache object survives the swap; it
+	// is only rebuilt when the budget changed, and then the cumulative
+	// counters carry over so NetworkStats.Cache stays monotonic.
+	h.cache.Flush()
+	if cacheSize != h.cache.Capacity() {
+		next := cache.New[*FlowResult](cacheSize)
+		next.CarryCounters(h.cache)
+		h.cache = next
+	}
+	h.mu.Unlock()
+	h.svc.swaps.Add(1)
+	// Retire the old solver gracefully: queries that snapshotted it before
+	// the switch run to completion; it only rejects queries that never
+	// existed (nothing routes to it anymore).
+	if err := old.Drain(context.Background()); err != nil {
+		old.Close()
+	}
+	return nil
+}
+
+// Stats snapshots the tenant (see NetworkStats).
+func (h *NetworkHandle) Stats() NetworkStats {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return NetworkStats{
+		Name:     h.name,
+		Version:  h.version,
+		Vertices: h.d.N(),
+		Arcs:     h.d.M(),
+		Backend:  h.solver.Backend(),
+		PoolSize: h.solver.PoolSize(),
+		Pool:     h.solver.PoolStats(),
+		Cache:    h.cache.Stats(),
+	}
+}
+
+// retire closes the handle and drains its solver (Deregister and Drain).
+func (h *NetworkHandle) retire(ctx context.Context) error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	solver := h.solver
+	h.cache.Flush()
+	h.mu.Unlock()
+	if err := solver.Drain(ctx); err != nil {
+		solver.Close()
+		return err
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"bcclap/internal/flow"
@@ -55,6 +56,11 @@ type Stats struct {
 	// WarmStarted reports that a batch query re-centered the previous
 	// certified solution instead of re-running path following.
 	WarmStarted bool
+	// CacheHit reports that the result was served from a Service handle's
+	// certified-result cache without touching the solver at all (always
+	// false on direct FlowSolver queries). Cached answers are bit-identical
+	// to fresh ones in value, cost and flow vector.
+	CacheHit bool
 	// Backend is the AᵀDA backend name in use (flow/LP sessions).
 	Backend string
 }
@@ -84,6 +90,11 @@ type FlowSolver struct {
 	inner   *flow.Solver // single-session mode (pool size ≤ 1)
 	pool    *pool.Pool   // pooled mode (WithPoolSize / WithShards)
 	backend string
+	// closed is the non-pooled shutdown latch: Drain and Close set it so
+	// that later queries fail with ErrSolverClosed exactly as they would
+	// on a pooled solver (the pooled path keeps its own latch). Atomic
+	// because Close may race a concurrent Solve during service swaps.
+	closed atomic.Bool
 }
 
 // PoolStats is a snapshot of a pooled FlowSolver's counters (pool
@@ -172,6 +183,8 @@ func (fs *FlowSolver) Solve(ctx context.Context, s, t int) (*FlowResult, error) 
 	)
 	if fs.pool != nil {
 		res, err = fs.pool.Solve(ctx, s, t)
+	} else if fs.closed.Load() {
+		return nil, fmt.Errorf("bcclap: %w", ErrSolverClosed)
 	} else {
 		res, err = fs.inner.Solve(ctx, s, t)
 	}
@@ -204,6 +217,8 @@ func (fs *FlowSolver) SolveBatch(ctx context.Context, queries []FlowQuery) ([]*F
 	)
 	if fs.pool != nil {
 		results, err = fs.pool.SolveBatch(ctx, qs)
+	} else if fs.closed.Load() {
+		return nil, fmt.Errorf("bcclap: %w", ErrSolverClosed)
 	} else {
 		results, err = fs.inner.SolveBatch(ctx, qs)
 	}
@@ -217,25 +232,40 @@ func (fs *FlowSolver) SolveBatch(ctx context.Context, queries []FlowQuery) ([]*F
 	return out, nil
 }
 
-// Drain gracefully shuts a pooled solver down: new queries are rejected,
-// queued and running queries finish, and Drain returns nil once every
-// worker has exited. If ctx expires first, the remaining work is aborted
-// and Drain returns ctx.Err(). On a non-pooled solver Drain is a no-op.
+// Drain gracefully shuts the solver down: new queries are rejected with
+// ErrSolverClosed, queued and running queries finish, and Drain returns
+// nil once every worker has exited. If ctx expires first, the remaining
+// work is aborted and Drain returns ctx.Err(). On a non-pooled solver
+// there is no queue to wait for — Drain just closes intake and returns
+// nil.
 func (fs *FlowSolver) Drain(ctx context.Context) error {
+	fs.closed.Store(true)
 	if fs.pool == nil {
 		return nil
 	}
 	return fs.pool.Drain(ctx)
 }
 
-// Close aborts a pooled solver immediately: queued queries fail, running
+// Close shuts the solver down immediately: later queries fail with
+// ErrSolverClosed, and on a pooled solver queued queries fail, running
 // solves are canceled within one solver iteration, and Close returns once
-// every worker goroutine has exited. On a non-pooled solver Close is a
-// no-op. Safe to call after Drain, and more than once.
+// every worker goroutine has exited. Safe to call after Drain, and more
+// than once.
 func (fs *FlowSolver) Close() {
+	fs.closed.Store(true)
 	if fs.pool != nil {
 		fs.pool.Close()
 	}
+}
+
+// Closed reports whether shutdown (Drain or Close) has begun on this
+// solver — pooled or not. Once true, Solve and SolveBatch fail with
+// ErrSolverClosed.
+func (fs *FlowSolver) Closed() bool {
+	if fs.pool != nil {
+		return fs.pool.Closed()
+	}
+	return fs.closed.Load()
 }
 
 // Backend returns the AᵀDA backend name this solver's sessions use: the

@@ -326,12 +326,41 @@ func TestFlowSolverPooled(t *testing.T) {
 	if _, err := pooled.Solve(context.Background(), s, tt); !errors.Is(err, ErrSolverClosed) {
 		t.Fatalf("post-drain solve: got %v, want ErrSolverClosed", err)
 	}
-	// Drain and Close are no-ops on a sequential solver.
+	// On a sequential solver Drain has nothing to wait for but still
+	// closes intake, like the pooled path.
 	if err := seq.Drain(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	seq.Close()
-	if _, err := seq.Solve(context.Background(), s, tt); err != nil {
-		t.Fatalf("sequential solver closed by no-op Close: %v", err)
+	if _, err := seq.Solve(context.Background(), s, tt); !errors.Is(err, ErrSolverClosed) {
+		t.Fatalf("sequential post-drain solve: got %v, want ErrSolverClosed", err)
 	}
+}
+
+// Regression (satellite of the service PR): a *non-pooled* FlowSolver
+// must reject queries after Close with ErrSolverClosed, exactly like the
+// pooled path — both Solve and SolveBatch, and Closed must report it.
+func TestFlowSolverClosedNonPooled(t *testing.T) {
+	d := testFlowNetwork(5, 36)
+	s, tt := 0, d.N()-1
+	fs, err := NewFlowSolver(d, WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Closed() {
+		t.Fatal("fresh solver reports Closed")
+	}
+	if _, err := fs.Solve(context.Background(), s, tt); err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+	if !fs.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	if _, err := fs.Solve(context.Background(), s, tt); !errors.Is(err, ErrSolverClosed) {
+		t.Fatalf("Solve after Close: got %v, want ErrSolverClosed", err)
+	}
+	if _, err := fs.SolveBatch(context.Background(), []FlowQuery{{s, tt}}); !errors.Is(err, ErrSolverClosed) {
+		t.Fatalf("SolveBatch after Close: got %v, want ErrSolverClosed", err)
+	}
+	fs.Close() // idempotent
 }
