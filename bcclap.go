@@ -83,12 +83,37 @@
 // set — in O(1) without touching the solver. WithCacheSize bounds the
 // per-network entry budget (0 disables); NetworkStats and ServiceStats
 // expose hit/miss/eviction counters. Lifecycle errors carry their own
-// sentinels: ErrNetworkUnknown, ErrNetworkExists.
+// sentinels: ErrNetworkUnknown, ErrNetworkExists, ErrNetworkBusy.
+//
+// # Durable state and incremental updates
+//
+// OpenService with WithStore(dir) makes the service restartable: every
+// tenant mutation — Register, Swap, PatchArcs, Deregister — is appended
+// to a CRC-checksummed write-ahead log in dir before it takes effect,
+// the log is periodically folded into compacted snapshots
+// (WithSnapshotEvery), and startup replays snapshot plus journal, so a
+// restarted process serves every tenant at its exact pre-shutdown
+// version with bit-identical answers and no re-registration.
+// WithStoreSync selects the fsync policy (SyncAlways pays ~200× per
+// record for a zero loss window; SyncNever defers flushing to the OS).
+// Recovery truncates torn tails at the last complete record, so a crash
+// mid-append never corrupts the journal.
+//
+// PatchArcs is the incremental alternative to Swap when the topology is
+// unchanged: arc capacity/cost deltas (ArcDelta) are journaled, folded
+// into the live worker sessions — which keep their LP structure, backend
+// workspaces and warm-start state, so the next resolve of an affected
+// pair re-centers instead of re-running path following — and the cache
+// is invalidated selectively: only entries whose flow routes through a
+// modified arc are dropped, the rest are re-certified and migrated to
+// the new version. Malformed deltas fail with ErrBadPatch before any
+// state changes; mutations racing on one tenant fail with ErrNetworkBusy.
 //
 // cmd/bcclap-serve exposes the service over REST (PUT/GET/DELETE
-// /v1/networks/{name}, per-tenant /flow and /stats routes), with the
-// legacy single-network /v1/flow surface kept as a compatibility layer
-// over a "default" tenant.
+// /v1/networks/{name}, PATCH /v1/networks/{name}/arcs, per-tenant /flow
+// and /stats routes, durable with -data-dir), with the legacy
+// single-network /v1/flow surface kept as a compatibility layer over a
+// "default" tenant.
 //
 // Every entry point optionally runs against the round-accounting simulator
 // in internal/sim so that the paper's round-complexity claims can be
@@ -148,6 +173,13 @@ type Graph = graph.Graph
 
 // Digraph is a directed graph with integer capacities and costs.
 type Digraph = graph.Digraph
+
+// ArcDelta is one incremental arc mutation for PatchArcs: additive
+// adjustments to the capacity and cost of the arc at index Arc (the
+// AddArc return value / Arcs() position). Deltas never change topology —
+// arcs are not added or removed — which is what lets a patched solver
+// keep its LP constraint structure and warm-start state.
+type ArcDelta = graph.ArcDelta
 
 // NewGraph returns an empty graph on n vertices.
 func NewGraph(n int) *Graph { return graph.New(n) }

@@ -32,6 +32,7 @@ import (
 	"bcclap/internal/sim"
 	"bcclap/internal/spanner"
 	"bcclap/internal/sparsify"
+	"bcclap/internal/store"
 )
 
 // flowBackend is the AᵀDA backend used by the flow-pipeline experiments
@@ -39,7 +40,7 @@ import (
 var flowBackend string
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e12, e15, e17, e19, e20 or all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e12, e15, e17, e19, e20, e21 or all)")
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	backend := flag.String("backend", "", "AᵀDA solve backend for the flow experiments: "+strings.Join(lp.Backends(), ", ")+" (default: auto — csr-pcg on sparse graphs, else dense)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (e.g. 10m; 0 = no limit)")
@@ -65,10 +66,10 @@ func run(ctx context.Context, exp string, quick bool) error {
 	all := map[string]func(context.Context, bool) error{
 		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6,
 		"e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11, "e12": e12,
-		"e15": e15, "e17": e17, "e19": e19, "e20": e20,
+		"e15": e15, "e17": e17, "e19": e19, "e20": e20, "e21": e21,
 	}
 	if exp == "all" {
-		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e15", "e17", "e19", "e20"} {
+		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e15", "e17", "e19", "e20", "e21"} {
 			if err := all[id](ctx, quick); err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}
@@ -703,5 +704,132 @@ func e20(ctx context.Context, quick bool) error {
 		}
 		svc.Close()
 	}
+	return nil
+}
+
+// e21: durable tenant state — the WAL append tax per journaled mutation
+// (fsync'd vs buffered), recovery wall-clock against tenant count, and
+// the arc-level patch path against the full swap it replaces, with the
+// selective cache invalidation it enables (the table EXPERIMENTS.md §e21
+// records; TestBenchStoreSnapshot gates it in CI).
+func e21(ctx context.Context, quick bool) error {
+	header("e21", "Durable store: WAL append tax, recovery scaling, patch vs swap")
+	recs := 256
+	counts := []int{1, 4, 8}
+	if quick {
+		recs = 64
+		counts = []int{1, 4}
+	}
+	d := graph.RandomFlowNetwork(6, 0.35, 3, 3, rand.New(rand.NewSource(23)))
+	deltas := []bcclap.ArcDelta{{Arc: 0, CapDelta: 1, CostDelta: 1}, {Arc: d.M() - 1, CostDelta: 1}}
+
+	// WAL append tax per record, with and without fsync.
+	fmt.Println("| fsync | records | ns/record |")
+	fmt.Println("|---|---|---|")
+	for _, pol := range []struct {
+		name string
+		sync store.SyncPolicy
+	}{{"always", store.SyncAlways}, {"never", store.SyncNever}} {
+		dir, err := os.MkdirTemp("", "bcclap-e21-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		lg, err := store.Open(dir, store.Options{Sync: pol.sync, SnapshotEvery: -1})
+		if err != nil {
+			return err
+		}
+		reg := store.Record{
+			Type: store.RecRegister, Name: "t", Version: 1,
+			Opts: store.TenantOpts{Backend: "dense", Tol: 1e-6}, N: d.N(), Arcs: d.Arcs(),
+		}
+		if err := lg.Append(reg); err != nil {
+			return err
+		}
+		start := time.Now()
+		for i := 0; i < recs; i++ {
+			rec := store.Record{Type: store.RecPatch, Name: "t", Version: uint64(i) + 2, Deltas: deltas}
+			if err := lg.Append(rec); err != nil {
+				return err
+			}
+		}
+		perRec := time.Since(start).Nanoseconds() / int64(recs)
+		lg.Close()
+		fmt.Printf("| %s | %d | %d |\n", pol.name, recs, perRec)
+	}
+
+	// Recovery wall-clock vs tenant count.
+	fmt.Println("\n| tenants | recovery | per tenant |")
+	fmt.Println("|---|---|---|")
+	for _, n := range counts {
+		dir, err := os.MkdirTemp("", "bcclap-e21-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		svc, err := bcclap.OpenService(bcclap.WithStore(dir), bcclap.WithSeed(7), bcclap.WithPoolSize(1))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			dt := graph.RandomFlowNetwork(5, 0.35, 3, 3, rand.New(rand.NewSource(60+int64(i))))
+			if _, err := svc.Register(fmt.Sprintf("t%d", i), dt); err != nil {
+				return err
+			}
+		}
+		if err := svc.Drain(ctx); err != nil {
+			return err
+		}
+		start := time.Now()
+		re, err := bcclap.OpenService(bcclap.WithStore(dir), bcclap.WithSeed(7), bcclap.WithPoolSize(1))
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		if got := len(re.Names()); got != n {
+			re.Close()
+			return fmt.Errorf("recovered %d tenants, want %d", got, n)
+		}
+		re.Close()
+		fmt.Printf("| %d | %v | %v |\n", n, wall.Round(time.Microsecond), (wall / time.Duration(n)).Round(time.Microsecond))
+	}
+
+	// Patch vs swap on a live tenant, resolve included, plus the cache
+	// behavior the patch path preserves.
+	svc := bcclap.NewService(bcclap.WithSeed(7), bcclap.WithPoolSize(1))
+	defer svc.Close()
+	h, err := svc.Register("prod", d)
+	if err != nil {
+		return err
+	}
+	if _, err := h.Solve(ctx, 0, d.N()-1); err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := h.PatchArcs(deltas); err != nil {
+		return err
+	}
+	res, err := h.Solve(ctx, 0, d.N()-1)
+	if err != nil {
+		return err
+	}
+	patchWall := time.Since(start)
+	patched := d.Clone()
+	if err := patched.ApplyDeltas(deltas); err != nil {
+		return err
+	}
+	start = time.Now()
+	if err := h.Swap(patched); err != nil {
+		return err
+	}
+	if _, err := h.Solve(ctx, 0, d.N()-1); err != nil {
+		return err
+	}
+	swapWall := time.Since(start)
+	fmt.Println("\n| path | mutate+resolve | warm started | path steps |")
+	fmt.Println("|---|---|---|---|")
+	fmt.Printf("| PatchArcs | %v | %v | %d |\n", patchWall.Round(time.Microsecond), res.Stats.WarmStarted, res.PathSteps)
+	fmt.Printf("| Swap | %v | — (cold) | — |\n", swapWall.Round(time.Microsecond))
+	fmt.Printf("\npatch speedup vs swap: %.1f×\n", float64(swapWall)/float64(patchWall))
 	return nil
 }

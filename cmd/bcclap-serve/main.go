@@ -10,6 +10,7 @@
 // Endpoints:
 //
 //	PUT    /v1/networks/{name}            register (201) or atomically swap (200)
+//	PATCH  /v1/networks/{name}/arcs       incremental arc cap/cost deltas
 //	GET    /v1/networks                   list tenants with stats
 //	GET    /v1/networks/{name}            one tenant's stats
 //	GET    /v1/networks/{name}/stats      alias of the above
@@ -20,6 +21,24 @@
 //	POST   /v1/flow/batch                 legacy: routes to the "default" tenant
 //	GET    /v1/stats                      service-wide counters
 //	GET    /healthz                       liveness probe
+//
+// With -data-dir the daemon is durable: tenant lifecycle mutations
+// (register, swap, arc patches, deregister) are journaled to a
+// write-ahead log under the directory before they take effect, and a
+// restarted daemon replays it — every network comes back at its last
+// version with its solver configuration, serving bit-identical results,
+// without any re-registration. -fsync and -snapshot-every tune the
+// durability/throughput trade-off and the compaction cadence.
+//
+// PATCH /v1/networks/{name}/arcs takes {"deltas": [{"arc": i,
+// "cap_delta": c, "cost_delta": q}, ...]} — additive, all-or-nothing,
+// topology-preserving. A patch keeps the tenant's solver pool alive
+// (warm-start state included, so the next solve of an affected pair
+// re-centers instead of re-running path following) and invalidates only
+// the cached results the deltas actually touch. Malformed bodies and
+// delta sets are rejected with 400 and a sentinel-bearing error message;
+// a patch or swap racing another mutation of the same tenant gets 429
+// with a Retry-After hint.
 //
 // The legacy single-network flags still work: -network FILE ("n m" header
 // then m lines "from to capacity cost") or -random N registers the
@@ -65,51 +84,100 @@ func main() {
 	cacheSize := flag.Int("cache", bcclap.DefaultCacheSize, "default certified-result cache entries per network (0 disables)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request solve timeout (0 = no limit)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight solves")
+	dataDir := flag.String("data-dir", "", "durable tenant store directory (empty = memory-only); a restarted daemon replays it")
+	fsync := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always or never")
+	snapEvery := flag.Int("snapshot-every", 0, "WAL records between compacted snapshots (0 = store default, negative disables)")
 	flag.Parse()
 
-	if err := run(*addr, *networkFile, *randomN, *seed, *backend, *poolSize, *shards, *cacheSize, *timeout, *drainTimeout); err != nil {
+	if err := run(serveConfig{
+		addr: *addr, networkFile: *networkFile, randomN: *randomN, seed: *seed,
+		backend: *backend, poolSize: *poolSize, shards: *shards, cacheSize: *cacheSize,
+		timeout: *timeout, drainTimeout: *drainTimeout,
+		dataDir: *dataDir, fsync: *fsync, snapEvery: *snapEvery,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bcclap-serve:", err)
 		os.Exit(1)
 	}
+}
+
+// serveConfig bundles the flag values so run stays callable from tests.
+type serveConfig struct {
+	addr         string
+	networkFile  string
+	randomN      int
+	seed         int64
+	backend      string
+	poolSize     int
+	shards       int
+	cacheSize    int
+	timeout      time.Duration
+	drainTimeout time.Duration
+	dataDir      string
+	fsync        string
+	snapEvery    int
 }
 
 // defaultTenant is the name the legacy -network/-random flags and
 // /v1/flow routes operate on.
 const defaultTenant = "default"
 
-func run(addr, networkFile string, randomN int, seed int64, backend string, poolSize, shards, cacheSize int, timeout, drainTimeout time.Duration) error {
-	if poolSize < 1 {
-		return fmt.Errorf("-pool must be at least 1, got %d", poolSize)
+func run(cfg serveConfig) error {
+	if cfg.poolSize < 1 {
+		return fmt.Errorf("-pool must be at least 1, got %d", cfg.poolSize)
 	}
 	opts := []bcclap.Option{
-		bcclap.WithSeed(seed),
-		bcclap.WithBackend(backend),
-		bcclap.WithPoolSize(poolSize),
-		bcclap.WithCacheSize(cacheSize),
+		bcclap.WithSeed(cfg.seed),
+		bcclap.WithBackend(cfg.backend),
+		bcclap.WithPoolSize(cfg.poolSize),
+		bcclap.WithCacheSize(cfg.cacheSize),
 	}
-	if shards > 0 {
-		opts = append(opts, bcclap.WithShards(shards))
+	if cfg.shards > 0 {
+		opts = append(opts, bcclap.WithShards(cfg.shards))
 	}
-	svc := bcclap.NewService(opts...)
-	if networkFile != "" || randomN > 0 {
-		d, err := loadNetwork(networkFile, randomN, seed)
+	if cfg.dataDir != "" {
+		switch cfg.fsync {
+		case "", "always":
+			opts = append(opts, bcclap.WithStoreSync(bcclap.SyncAlways))
+		case "never":
+			opts = append(opts, bcclap.WithStoreSync(bcclap.SyncNever))
+		default:
+			return fmt.Errorf("-fsync must be \"always\" or \"never\", got %q", cfg.fsync)
+		}
+		opts = append(opts, bcclap.WithStore(cfg.dataDir), bcclap.WithSnapshotEvery(cfg.snapEvery))
+	}
+	svc, err := bcclap.OpenService(opts...)
+	if err != nil {
+		return err
+	}
+	if replayed := svc.Names(); len(replayed) > 0 {
+		log.Printf("bcclap-serve: recovered %d tenants from %s: %s",
+			len(replayed), cfg.dataDir, strings.Join(replayed, ", "))
+	}
+	if cfg.networkFile != "" || cfg.randomN > 0 {
+		d, err := loadNetwork(cfg.networkFile, cfg.randomN, cfg.seed)
 		if err != nil {
 			return err
 		}
 		h, err := svc.Register(defaultTenant, d)
-		if err != nil {
+		switch {
+		case errors.Is(err, bcclap.ErrNetworkExists):
+			// The store already replayed the default tenant; the replayed
+			// state (version, patches) wins over the startup flags.
+			log.Printf("bcclap-serve: %q already recovered from the store; keeping it", defaultTenant)
+		case err != nil:
 			return err
+		default:
+			log.Printf("bcclap-serve: registered %q (n=%d m=%d backend=%s pool=%d)",
+				defaultTenant, d.N(), d.M(), h.Backend(), cfg.poolSize)
 		}
-		log.Printf("bcclap-serve: registered %q (n=%d m=%d backend=%s pool=%d)",
-			defaultTenant, d.N(), d.M(), h.Backend(), poolSize)
 	}
-	s := newServer(svc, timeout, drainTimeout, seed)
+	s := newServer(svc, cfg.timeout, cfg.drainTimeout, cfg.seed)
 
-	srv := &http.Server{Addr: addr, Handler: s.routes()}
+	srv := &http.Server{Addr: cfg.addr, Handler: s.routes()}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("bcclap-serve: listening on %s (tenants=%d pool=%d cache=%d)",
-			addr, len(svc.Names()), poolSize, cacheSize)
+			cfg.addr, len(svc.Names()), cfg.poolSize, cfg.cacheSize)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
@@ -123,8 +191,8 @@ func run(addr, networkFile string, randomN int, seed int64, backend string, pool
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("bcclap-serve: draining %d tenants (budget %v)", len(svc.Names()), drainTimeout)
-	shCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	log.Printf("bcclap-serve: draining %d tenants (budget %v)", len(svc.Names()), cfg.drainTimeout)
+	shCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shCtx); err != nil {
 		log.Printf("bcclap-serve: http shutdown: %v", err)
@@ -198,6 +266,7 @@ func newServer(svc *bcclap.Service, timeout, drainTimeout time.Duration, default
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /v1/networks/{name}", s.handlePutNetwork)
+	mux.HandleFunc("PATCH /v1/networks/{name}/arcs", s.handlePatchArcs)
 	mux.HandleFunc("GET /v1/networks", s.handleListNetworks)
 	mux.HandleFunc("GET /v1/networks/{name}", s.handleNetworkStats)
 	mux.HandleFunc("GET /v1/networks/{name}/stats", s.handleNetworkStats)
@@ -293,6 +362,7 @@ func (spec *networkSpec) options() []bcclap.Option {
 type networkResponse struct {
 	Name     string            `json:"name"`
 	Version  uint64            `json:"version"`
+	Patches  uint64            `json:"patches"`
 	N        int               `json:"n"`
 	M        int               `json:"m"`
 	Backend  string            `json:"backend"`
@@ -305,6 +375,7 @@ func toNetworkResponse(ns bcclap.NetworkStats) networkResponse {
 	return networkResponse{
 		Name:     ns.Name,
 		Version:  ns.Version,
+		Patches:  ns.Patches,
 		N:        ns.Vertices,
 		M:        ns.Arcs,
 		Backend:  ns.Backend,
@@ -322,12 +393,12 @@ func (s *server) handlePutNetwork(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var spec networkSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		s.writeError(w, fmt.Errorf("%w: bad request body: %v", bcclap.ErrBadSpec, err))
 		return
 	}
 	d, err := spec.digraph(s.defaultSeed)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeError(w, fmt.Errorf("%w: %v", bcclap.ErrBadSpec, err))
 		return
 	}
 	status := http.StatusCreated
@@ -343,6 +414,46 @@ func (s *server) handlePutNetwork(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, status, toNetworkResponse(h.Stats()))
+}
+
+// patchSpec is the PATCH /v1/networks/{name}/arcs body.
+type patchSpec struct {
+	Deltas []arcDelta `json:"deltas"`
+}
+
+// arcDelta mirrors bcclap.ArcDelta on the wire.
+type arcDelta struct {
+	Arc       int   `json:"arc"`
+	CapDelta  int64 `json:"cap_delta"`
+	CostDelta int64 `json:"cost_delta"`
+}
+
+// handlePatchArcs applies incremental arc deltas to a live tenant: the
+// version bumps, the solver pool (warm-start state included) survives,
+// and only the cached results the deltas touch are invalidated. Malformed
+// bodies and delta sets get 400 with the sentinel in the message; a patch
+// racing another mutation of the same tenant gets 429 + Retry-After.
+func (s *server) handlePatchArcs(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	h, err := s.tenant(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var spec patchSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		s.writeError(w, fmt.Errorf("%w: bad request body: %v", bcclap.ErrBadSpec, err))
+		return
+	}
+	deltas := make([]bcclap.ArcDelta, len(spec.Deltas))
+	for i, dl := range spec.Deltas {
+		deltas[i] = bcclap.ArcDelta{Arc: dl.Arc, CapDelta: dl.CapDelta, CostDelta: dl.CostDelta}
+	}
+	if err := h.PatchArcs(deltas); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toNetworkResponse(h.Stats()))
 }
 
 func (s *server) handleListNetworks(w http.ResponseWriter, r *http.Request) {
@@ -498,19 +609,24 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for i, ns := range st.PerNetwork {
 		nets[i] = toNetworkResponse(ns)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"networks":     nets,
 		"tenants":      st.Networks,
 		"registered":   st.Registered,
 		"deregistered": st.Deregistered,
 		"swaps":        st.Swaps,
+		"patches":      st.Patches,
 		"cache":        st.Cache,
 		"requests":     s.requests.Load(),
 		"solved":       s.solved.Load(),
 		"failed":       s.failed.Load(),
 		"uptime_ms":    time.Since(s.started).Milliseconds(),
 		"timeout_ms":   s.timeout.Milliseconds(),
-	})
+	}
+	if st.Store != nil {
+		body["store"] = st.Store
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -520,11 +636,15 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // writeError maps a session/service error onto its HTTP status. A 503
 // (shutdown in progress) additionally advertises Retry-After sized to the
 // drain budget, so load balancers back off instead of hammering a
-// draining instance.
+// draining instance; a 429 (tenant mutation in flight) advertises a short
+// Retry-After — mutations are sub-second, the client should just retry.
 func (s *server) writeError(w http.ResponseWriter, err error) {
 	status := statusOf(err)
-	if status == http.StatusServiceUnavailable {
+	switch status {
+	case http.StatusServiceUnavailable:
 		w.Header().Set("Retry-After", s.retryAfter)
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
@@ -532,12 +652,16 @@ func (s *server) writeError(w http.ResponseWriter, err error) {
 // statusOf maps the session API's sentinel errors onto HTTP statuses.
 func statusOf(err error) int {
 	switch {
-	case errors.Is(err, bcclap.ErrBadQuery):
+	case errors.Is(err, bcclap.ErrBadQuery),
+		errors.Is(err, bcclap.ErrBadSpec),
+		errors.Is(err, bcclap.ErrBadPatch):
 		return http.StatusBadRequest
 	case errors.Is(err, bcclap.ErrNetworkUnknown):
 		return http.StatusNotFound
 	case errors.Is(err, bcclap.ErrNetworkExists):
 		return http.StatusConflict
+	case errors.Is(err, bcclap.ErrNetworkBusy):
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

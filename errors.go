@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"bcclap/internal/flow"
+	"bcclap/internal/graph"
 	"bcclap/internal/lapsolver"
 	"bcclap/internal/lp"
 	"bcclap/internal/pool"
@@ -46,4 +47,21 @@ var (
 	// ErrNetworkExists marks a Service.Register under a name that is
 	// already taken; use Get + Swap to replace a live network.
 	ErrNetworkExists = errors.New("bcclap: network already registered")
+
+	// ErrBadPatch marks a malformed arc-delta set passed to PatchArcs: an
+	// empty set, an arc index outside the network, or a capacity delta
+	// that would drive an arc's capacity non-positive. Raised before any
+	// state (durable or in-memory) changes.
+	ErrBadPatch = graph.ErrBadDelta
+
+	// ErrNetworkBusy marks a Swap or PatchArcs attempted while another
+	// mutation of the same tenant is still in progress. Mutations are
+	// serialized per tenant; retry once the in-flight one finishes (the
+	// REST layer maps this to 429 with a Retry-After hint).
+	ErrNetworkBusy = errors.New("bcclap: network mutation in progress")
+
+	// ErrBadSpec marks a malformed network specification: an unparseable
+	// request body or an arc list the digraph constructor rejects. Raised
+	// by the REST layer's PUT/PATCH decoding, before any solver work.
+	ErrBadSpec = errors.New("bcclap: malformed network spec")
 )

@@ -140,6 +140,53 @@ func (c *Cache[V]) Put(k Key, v V) {
 	}
 }
 
+// Rekey migrates the entries of version from to version to, dropping the
+// ones drop selects — the selective-invalidation hook behind arc-level
+// patches: a patch bumps the owner's version, and instead of flushing the
+// whole tenant, the owner re-keys the entries whose certified results
+// survive the mutation and drops only the invalidated ones (counted as
+// invalidations, like Flush). Entries of other versions are untouched.
+//
+// drop is called once per matching entry, under the entry's shard lock: it
+// must be fast, must not call back into the cache, and must be a pure
+// function of the key and value. Survivors are re-inserted most recently
+// used. No-op on a nil cache, when from == to, or with a nil drop (then
+// every entry survives).
+func (c *Cache[V]) Rekey(from, to uint64, drop func(Key, V) bool) {
+	if c == nil || from == to {
+		return
+	}
+	type moved struct {
+		k Key
+		v V
+	}
+	var keep []moved
+	dropped := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k, e := range s.items {
+			if k.Version != from {
+				continue
+			}
+			s.unlink(e)
+			delete(s.items, k)
+			if drop != nil && drop(k, e.val) {
+				dropped++
+			} else {
+				keep = append(keep, moved{Key{Version: to, S: k.S, T: k.T}, e.val})
+			}
+		}
+		s.mu.Unlock()
+	}
+	if dropped > 0 {
+		c.invalidations.Add(int64(dropped))
+	}
+	for _, m := range keep {
+		c.Put(m.k, m.v)
+	}
+}
+
 // Flush drops every entry (whole-tenant invalidation on swap or
 // deregistration), counting them as invalidations rather than evictions.
 func (c *Cache[V]) Flush() {

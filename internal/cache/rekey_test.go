@@ -1,0 +1,58 @@
+package cache
+
+import "testing"
+
+// Rekey must migrate survivors to the new version, drop the selected
+// entries (counting them as invalidations), and leave other versions
+// untouched.
+func TestRekeySelective(t *testing.T) {
+	c := New[int](64)
+	for i := 0; i < 8; i++ {
+		c.Put(Key{Version: 1, S: i, T: 99}, i)
+	}
+	c.Put(Key{Version: 2, S: 0, T: 99}, 1000)
+
+	// Drop odd-S entries of version 1.
+	c.Rekey(1, 3, func(k Key, v int) bool { return k.S%2 == 1 })
+
+	for i := 0; i < 8; i++ {
+		if _, ok := c.Get(Key{Version: 1, S: i, T: 99}); ok {
+			t.Fatalf("entry S=%d still reachable under the old version", i)
+		}
+		v, ok := c.Get(Key{Version: 3, S: i, T: 99})
+		if i%2 == 0 {
+			if !ok || v != i {
+				t.Fatalf("survivor S=%d: got (%d, %v), want (%d, true)", i, v, ok, i)
+			}
+		} else if ok {
+			t.Fatalf("dropped entry S=%d reachable under the new version", i)
+		}
+	}
+	// The unrelated version is untouched.
+	if v, ok := c.Get(Key{Version: 2, S: 0, T: 99}); !ok || v != 1000 {
+		t.Fatal("Rekey disturbed an entry of another version")
+	}
+	if st := c.Stats(); st.Invalidations != 4 {
+		t.Fatalf("Invalidations = %d, want 4", st.Invalidations)
+	}
+}
+
+// Edge cases: nil cache, from == to, and nil drop (everything survives).
+func TestRekeyEdgeCases(t *testing.T) {
+	var nilCache *Cache[int]
+	nilCache.Rekey(1, 2, nil) // must not panic
+
+	c := New[int](16)
+	c.Put(Key{Version: 1, S: 0, T: 1}, 7)
+	c.Rekey(1, 1, func(Key, int) bool { return true })
+	if _, ok := c.Get(Key{Version: 1, S: 0, T: 1}); !ok {
+		t.Fatal("Rekey(from == to) must be a no-op")
+	}
+	c.Rekey(1, 2, nil)
+	if v, ok := c.Get(Key{Version: 2, S: 0, T: 1}); !ok || v != 7 {
+		t.Fatal("nil drop must keep every entry")
+	}
+	if st := c.Stats(); st.Invalidations != 0 {
+		t.Fatalf("Invalidations = %d, want 0", st.Invalidations)
+	}
+}

@@ -150,6 +150,10 @@ type formState struct {
 	// them, and the warm path is only taken when no re-perturbation
 	// happened since they were stored).
 	warmX, warmW []float64
+	// costsStale marks a form rebuilt by ApplyArcDeltas: warmX was
+	// certified against the pre-patch costs, so the warm path must redraw
+	// the perturbation over the new costs before polishing.
+	costsStale bool
 }
 
 // Solver is a reusable min-cost max-flow session over one digraph
@@ -309,6 +313,15 @@ func (fs *Solver) solve(ctx context.Context, q Query, tryWarm bool) (*Result, er
 		// repair Polish applies, and the rounding margin (1/6 of a flow
 		// unit) absorbs the shift. The certificate below keeps this exact.
 		const warmBlend = 0.05
+		if st.costsStale {
+			// The arcs were patched since this basis was certified: redraw
+			// the uniqueness perturbation over the new costs first. The
+			// stream matches a cold attempt's first draw, so a certificate
+			// failure below falls back to the exact cold solve a fresh
+			// session would run.
+			st.form.Perturb(fs.queryRand())
+			st.costsStale = false
+		}
 		x := make([]float64, len(st.warmX))
 		for i := range x {
 			x[i] = (1-warmBlend)*st.warmX[i] + warmBlend*st.form.X0[i]

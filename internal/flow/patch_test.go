@@ -1,0 +1,135 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"bcclap/internal/graph"
+)
+
+// patchDeltas is a small deterministic delta set for a RandomFlowNetwork:
+// widen one backbone arc and reprice another.
+func patchDeltas(d *graph.Digraph) []graph.ArcDelta {
+	return []graph.ArcDelta{
+		{Arc: 0, CapDelta: 2, CostDelta: 1},
+		{Arc: d.M() - 1, CostDelta: 2},
+	}
+}
+
+// Malformed delta sets must fail with ErrBadDelta before any state
+// changes, and a later solve must behave as if the call never happened.
+func TestApplyArcDeltasValidation(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	d := graph.RandomFlowNetwork(6, 0.35, 3, 3, rnd)
+	fs, err := NewSolver(d, Options{Seed: SeedOf(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	before, err := fs.Solve(ctx, 0, d.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range [][]graph.ArcDelta{
+		nil,
+		{},
+		{{Arc: d.M()}},
+		{{Arc: 0, CapDelta: -100}},
+	} {
+		if err := fs.ApplyArcDeltas(ds); !errors.Is(err, graph.ErrBadDelta) {
+			t.Fatalf("deltas %v: err = %v, want ErrBadDelta", ds, err)
+		}
+	}
+	after, err := fs.Solve(ctx, 0, d.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Value != after.Value || before.Cost != after.Cost {
+		t.Fatal("failed ApplyArcDeltas mutated the solver")
+	}
+}
+
+// After a patch, solves must be exact on the patched network: value and
+// cost must match the SSP baseline run against an independently patched
+// digraph, and the flow must certify.
+func TestPatchedSolveMatchesBaseline(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rnd := rand.New(rand.NewSource(40 + seed))
+		d := graph.RandomFlowNetwork(7, 0.35, 3, 3, rnd)
+		fs, err := NewSolver(d, Options{Seed: SeedOf(5 + seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		s, tt := 0, d.N()-1
+		// Solve once pre-patch so the pair holds warm-start state.
+		if _, err := fs.Solve(ctx, s, tt); err != nil {
+			t.Fatalf("seed %d pre-patch: %v", seed, err)
+		}
+		// Build the expected patched graph from a clone first: the solver
+		// shares (and mutates) d itself at this layer.
+		ds := patchDeltas(d)
+		patched := d.Clone()
+		if err := patched.ApplyDeltas(ds); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.ApplyArcDeltas(ds); err != nil {
+			t.Fatalf("seed %d patch: %v", seed, err)
+		}
+		res, err := fs.SolveWarm(ctx, Query{S: s, T: tt})
+		if err != nil {
+			t.Fatalf("seed %d post-patch: %v", seed, err)
+		}
+		wantValue, wantCost, _, err := MinCostMaxFlowSSP(patched, s, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != wantValue || res.Cost != wantCost {
+			t.Fatalf("seed %d: post-patch (value %d cost %d), baseline (value %d cost %d)",
+				seed, res.Value, res.Cost, wantValue, wantCost)
+		}
+		if err := CertifyOptimal(patched, s, tt, res.Flows); err != nil {
+			t.Fatalf("seed %d: post-patch flow fails certification: %v", seed, err)
+		}
+	}
+}
+
+// A patched session must answer exactly like a fresh solver built on the
+// patched digraph (cold path): the patch may keep warm-start state, but
+// correctness never depends on it.
+func TestPatchedColdSolveEquivalence(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	d := graph.RandomFlowNetwork(6, 0.4, 3, 3, rnd)
+	fs, err := NewSolver(d, Options{Seed: SeedOf(21)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clone before patching the solver: it shares d at this layer.
+	ds := patchDeltas(d)
+	patched := d.Clone()
+	if err := patched.ApplyDeltas(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.ApplyArcDeltas(ds); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewSolver(patched, Options{Seed: SeedOf(21)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	got, err := fs.Solve(ctx, 0, d.N()-1) // cold: the pair was never solved
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Solve(ctx, 0, d.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != want.Value || got.Cost != want.Cost {
+		t.Fatalf("patched session (value %d cost %d) diverged from fresh solver (value %d cost %d)",
+			got.Value, got.Cost, want.Value, want.Cost)
+	}
+}

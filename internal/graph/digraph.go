@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 )
@@ -42,6 +43,80 @@ func (d *Digraph) AddArc(from, to int, capacity, cost int64) (int, error) {
 	d.out[from] = append(d.out[from], idx)
 	d.in[to] = append(d.in[to], idx)
 	return idx, nil
+}
+
+// Clone returns a deep copy of d: mutating the copy's arcs (PatchArc,
+// ApplyDeltas) never aliases the original.
+func (d *Digraph) Clone() *Digraph {
+	nd := &Digraph{
+		n:    d.n,
+		arcs: append([]Arc(nil), d.arcs...),
+		out:  make([][]int, d.n),
+		in:   make([][]int, d.n),
+	}
+	for v := 0; v < d.n; v++ {
+		nd.out[v] = append([]int(nil), d.out[v]...)
+		nd.in[v] = append([]int(nil), d.in[v]...)
+	}
+	return nd
+}
+
+// ErrBadDelta marks a malformed arc delta: an index outside the arc list,
+// or a capacity delta that would drive an arc's capacity non-positive
+// (cumulatively, when one arc appears several times in a delta set).
+var ErrBadDelta = errors.New("digraph: bad arc delta")
+
+// ArcDelta is one incremental arc mutation: additive adjustments to the
+// capacity and cost of the arc at index Arc (the AddArc return value /
+// Arcs() position). Topology is immutable — deltas never add or remove
+// arcs — so the LP constraint structure built from the digraph stays
+// valid across patches.
+type ArcDelta struct {
+	Arc       int
+	CapDelta  int64
+	CostDelta int64
+}
+
+// CheckDeltas reports (without mutating) whether ds applies cleanly to
+// arcs: every index in range and every capacity positive after the
+// cumulative deltas. Errors wrap ErrBadDelta.
+func CheckDeltas(arcs []Arc, ds []ArcDelta) error {
+	caps := make(map[int]int64, len(ds))
+	for i, dl := range ds {
+		if dl.Arc < 0 || dl.Arc >= len(arcs) {
+			return fmt.Errorf("%w: delta %d: arc index %d out of range [0,%d)", ErrBadDelta, i, dl.Arc, len(arcs))
+		}
+		c, ok := caps[dl.Arc]
+		if !ok {
+			c = arcs[dl.Arc].Cap
+		}
+		c += dl.CapDelta
+		if c <= 0 {
+			return fmt.Errorf("%w: delta %d drives arc %d capacity to %d", ErrBadDelta, i, dl.Arc, c)
+		}
+		caps[dl.Arc] = c
+	}
+	return nil
+}
+
+// PatchArcList validates ds against arcs (CheckDeltas) and then applies it
+// in place. On error nothing is mutated.
+func PatchArcList(arcs []Arc, ds []ArcDelta) error {
+	if err := CheckDeltas(arcs, ds); err != nil {
+		return err
+	}
+	for _, dl := range ds {
+		arcs[dl.Arc].Cap += dl.CapDelta
+		arcs[dl.Arc].Cost += dl.CostDelta
+	}
+	return nil
+}
+
+// ApplyDeltas applies an all-or-nothing set of arc deltas to d. The arc
+// list is mutated in place — indices, endpoints and adjacency are
+// untouched, so readers of the topology (N, M, Out, In) are unaffected.
+func (d *Digraph) ApplyDeltas(ds []ArcDelta) error {
+	return PatchArcList(d.arcs, ds)
 }
 
 // N returns the number of vertices.

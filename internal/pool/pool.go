@@ -60,18 +60,24 @@ type Stats struct {
 	// Failed partition the finished ones; WarmStarted counts completions
 	// that skipped path following.
 	Submitted, Completed, Failed, WarmStarted int64
+	// Patches counts per-worker patch applications (one Patch call
+	// increments it once per worker that ran the apply function).
+	Patches int64
 }
 
 // task is one query in flight: submitted to exactly one worker queue,
 // resolved exactly once (res/err are written before done is closed and
-// only read after).
+// only read after). A task with apply set is a session mutation instead of
+// a query — it runs the function against the worker's session and carries
+// no query fields.
 type task struct {
-	ctx  context.Context
-	q    flow.Query
-	warm bool
-	res  *flow.Result
-	err  error
-	done chan struct{}
+	ctx   context.Context
+	q     flow.Query
+	warm  bool
+	apply func(Session) error
+	res   *flow.Result
+	err   error
+	done  chan struct{}
 }
 
 // worker is one pool goroutine and the session it exclusively owns. Tasks
@@ -115,7 +121,7 @@ type Pool struct {
 	wg       sync.WaitGroup // worker goroutines
 	inflight sync.WaitGroup // accepted but unfinished tasks
 
-	submitted, completed, failed, warmHits atomic.Int64
+	submitted, completed, failed, warmHits, patches atomic.Int64
 }
 
 // New builds the pool and starts its max(Workers, Shards) workers. Every
@@ -178,6 +184,7 @@ func (p *Pool) Stats() Stats {
 		Completed:   p.completed.Load(),
 		Failed:      p.failed.Load(),
 		WarmStarted: p.warmHits.Load(),
+		Patches:     p.patches.Load(),
 	}
 }
 
@@ -226,6 +233,23 @@ func (p *Pool) submit(t *task) error {
 // the abandoned task promptly when it reaches it.
 func (p *Pool) Solve(ctx context.Context, s, t int) (*flow.Result, error) {
 	tk := &task{ctx: ctx, q: flow.Query{S: s, T: t}, done: make(chan struct{})}
+	if err := p.submit(tk); err != nil {
+		return nil, err
+	}
+	select {
+	case <-tk.done:
+		return tk.res, tk.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// SolveWarm answers one (s, t) query with batch (warm-start) semantics on
+// the pair's pinned worker session: a repeat of an already-answered pair
+// re-centers the previous certified solution instead of re-running path
+// following. Ordering and cancellation behave exactly like Solve.
+func (p *Pool) SolveWarm(ctx context.Context, s, t int) (*flow.Result, error) {
+	tk := &task{ctx: ctx, q: flow.Query{S: s, T: t}, warm: true, done: make(chan struct{})}
 	if err := p.submit(tk); err != nil {
 		return nil, err
 	}
@@ -298,6 +322,58 @@ func (p *Pool) SolveBatch(ctx context.Context, queries []flow.Query) ([]*flow.Re
 		out[i] = t.res
 	}
 	return out, nil
+}
+
+// Patch broadcasts a session mutation to every worker: apply is enqueued
+// behind each worker's already-queued work (FIFO, like queries), so every
+// query accepted before Patch runs against the pre-patch sessions and
+// every query accepted after the returned wait function completes runs
+// against the patched ones. Patch itself only enqueues — it returns a wait
+// function that blocks until every worker has run apply and reports the
+// first failure. The enqueue is atomic with respect to submission: callers
+// holding their own serving lock across Patch get a clean linearization
+// point (no query can slip between the per-worker enqueues).
+//
+// apply runs on each worker goroutine with exclusive access to that
+// worker's session, exactly like a solve; it must leave the session
+// serviceable even on error. A pool that is draining or closed rejects the
+// patch with ErrClosed, and a kill while patch tasks sit queued fails the
+// wait with ErrClosed.
+func (p *Pool) Patch(apply func(Session) error) (wait func() error, err error) {
+	if apply == nil {
+		return nil, errors.New("pool: nil patch function")
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	tasks := make([]*task, len(p.workers))
+	for i, w := range p.workers {
+		t := &task{ctx: context.Background(), apply: apply, done: make(chan struct{})}
+		p.inflight.Add(1)
+		w.mu.Lock()
+		w.queue = append(w.queue, t)
+		w.mu.Unlock()
+		tasks[i] = t
+	}
+	p.mu.Unlock()
+	for _, w := range p.workers {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+	return func() error {
+		var first error
+		for _, t := range tasks {
+			<-t.done
+			if t.err != nil && first == nil {
+				first = t.err
+			}
+		}
+		return first
+	}, nil
 }
 
 // beginShutdown stops intake. Serializing on mu with submit guarantees
@@ -407,10 +483,13 @@ func (w *worker) next() (t *task, stop bool) {
 	}
 }
 
-// fail resolves a task without running it (abort path).
+// fail resolves a task without running it (abort path). Patch tasks do not
+// count toward the query failure counter — Failed partitions queries.
 func (w *worker) fail(t *task, err error) {
 	t.err = err
-	w.p.failed.Add(1)
+	if t.apply == nil {
+		w.p.failed.Add(1)
+	}
 	close(t.done)
 	w.p.inflight.Done()
 }
@@ -431,6 +510,13 @@ func (w *worker) failQueued() {
 // an aborting shutdown interrupts within one solver iteration.
 func (w *worker) run(t *task) {
 	p := w.p
+	if t.apply != nil {
+		t.err = t.apply(w.sess)
+		p.patches.Add(1)
+		close(t.done)
+		p.inflight.Done()
+		return
+	}
 	finish := func() {
 		if t.err != nil {
 			p.failed.Add(1)

@@ -1,0 +1,48 @@
+// Package store is the durability subsystem behind the multi-tenant
+// service layer: a write-ahead log of tenant lifecycle records plus
+// periodically compacted snapshots, from which a restarted process
+// rebuilds every registered network, its version and its resolved solver
+// configuration — bit-identically, because bcclap results are exact and
+// deterministic, so tenant state is a pure fold of the ordered record
+// stream (the same log-then-replay discipline that makes replicated state
+// machines reconstructible from their journal alone).
+//
+// On-disk layout (one directory per Log):
+//
+//   - wal.bclog — an 8-byte magic header followed by framed records. Each
+//     frame is [uint32 length][uint32 CRC32-IEEE][payload]; each payload
+//     is a varint-encoded Record carrying its LSN, type (register / swap /
+//     arc-patch / deregister), tenant name, version and the type-specific
+//     body (full digraph + resolved options, or the arc deltas).
+//   - snap-<lsn>.bcsnap — a compacted snapshot: the full tenant state as
+//     of the named LSN, one framed body behind its own magic, written to a
+//     temporary file, fsynced and atomically renamed into place. The last
+//     two generations are retained.
+//
+// Recovery (Open) loads the newest snapshot that validates, replays the
+// WAL records with LSNs beyond it, and truncates the tail at the first
+// incomplete or checksum-failing frame — a torn write from a crash loses
+// at most the unacknowledged record it interrupted. Records whose LSN the
+// snapshot already covers are skipped, which makes the crash window
+// between a snapshot rename and the WAL truncation harmless.
+//
+// Invariants:
+//
+//   - Append-before-effect: Log.Append validates a record against the
+//     materialized state, makes it durable (per the SyncPolicy), and only
+//     then folds it in — so the WAL never holds a record that cannot
+//     replay, and the state Tenants reports is always exactly what a
+//     crash-and-reopen would rebuild.
+//   - LSNs are strictly increasing across the log's whole lifetime,
+//     snapshots included; a failed write or fsync rolls the file back to
+//     the previous record boundary (poisoning the log if even that
+//     fails) so an LSN is never reused for different bytes.
+//   - The decoder (DecodeRecord, shared by the fuzz target) bounds every
+//     count against the remaining input and revalidates digraph
+//     invariants, so arbitrary bytes error out rather than panic,
+//     over-allocate, or produce a record that fails replay.
+//
+// The package is deliberately ignorant of solvers: it stores names,
+// versions, arc lists and the serializable option set (store.TenantOpts).
+// The service layer owns the mapping to live solver pools and caches.
+package store

@@ -1,0 +1,575 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"bcclap/internal/graph"
+)
+
+// SyncPolicy selects when the WAL file is fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: a record acknowledged to the
+	// caller survives power loss. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncNever leaves flushing to the OS: an append survives process
+	// crashes (the write hit the kernel) but a power cut may lose the
+	// tail. Snapshots still sync regardless of policy.
+	SyncNever
+)
+
+// DefaultSnapshotEvery is the automatic compaction cadence: after this
+// many WAL appends the log folds the tail into a fresh snapshot.
+const DefaultSnapshotEvery = 64
+
+// Options configures a Log.
+type Options struct {
+	// Sync is the WAL fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SnapshotEvery is the number of appended records between automatic
+	// compacted snapshots; 0 selects DefaultSnapshotEvery and a negative
+	// value disables automatic (and close-time) snapshots, leaving the
+	// full history in the WAL.
+	SnapshotEvery int
+}
+
+// TenantState is the materialized state of one tenant: the fold of its
+// lifecycle records. Version and Patches match the live Service counters
+// so a replayed service reports identical per-network stats.
+type TenantState struct {
+	Name    string
+	Version uint64
+	Patches uint64
+	Opts    TenantOpts
+	N       int
+	Arcs    []graph.Arc
+}
+
+// Stats is a point-in-time snapshot of one Log's counters.
+type Stats struct {
+	// Dir is the store directory; Tenants the live tenant count.
+	Dir     string
+	Tenants int
+	// NextLSN is the sequence number the next append will carry.
+	NextLSN uint64
+	// Appends and Snapshots count successful operations since Open;
+	// SnapshotErrors counts failed automatic compactions (the append that
+	// triggered them still succeeded).
+	Appends, Snapshots, SnapshotErrors int64
+	// Replayed is the number of WAL records Open folded in on top of the
+	// newest valid snapshot; TruncatedBytes the torn tail Open discarded.
+	Replayed       int
+	TruncatedBytes int64
+	// WALBytes is the current WAL file size (magic header included).
+	WALBytes int64
+}
+
+const (
+	walName    = "wal.bclog"
+	walMagic   = "BCWAL01\n"
+	snapMagic  = "BCSNAP1\n"
+	snapPrefix = "snap-"
+	snapSuffix = ".bcsnap"
+	// snapKeep is how many snapshot generations survive a compaction: the
+	// one just written plus the previous, so a snapshot corrupted by disk
+	// trouble (not by a crash — renames are atomic) still leaves a
+	// recovery point.
+	snapKeep = 2
+)
+
+// ErrClosed marks an operation on a closed Log.
+var ErrClosed = errors.New("store: log closed")
+
+// Log is a durable, replayable journal of tenant lifecycle records: a
+// length-prefixed, CRC-checksummed write-ahead log plus periodically
+// compacted snapshots, materializing the fold of both as live tenant
+// state. Open recovers by loading the newest valid snapshot, replaying the
+// WAL tail and truncating any torn record; Append validates a record
+// against the materialized state, makes it durable and then applies it —
+// so the state Tenants returns is always exactly what a crash-and-reopen
+// would rebuild. All methods are safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File
+	closed  bool
+	broken  error // a failed partial write poisoned the WAL tail
+	walSize int64
+	walRecs int // records appended since the last snapshot
+	nextLSN uint64
+	state   map[string]*TenantState
+
+	appends, snapshots, snapErrs int64
+	replayed                     int
+	truncated                    int64
+}
+
+// Open opens (creating if needed) the store rooted at dir and recovers its
+// state: newest valid snapshot first, then the WAL tail record by record,
+// stopping at — and truncating — the first torn or corrupt frame. A record
+// that fails to apply to the recovered state (a patch for an unknown
+// tenant, say) is real corruption, not a torn tail, and fails Open.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	removeTempFiles(dir)
+	state, snapLSN, err := loadNewestSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, state: state, nextLSN: snapLSN + 1}
+
+	path := filepath.Join(dir, walName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	l.f = f
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if len(buf) < len(walMagic) {
+		// Empty or torn-at-creation header: start the WAL fresh.
+		if err := l.resetWAL(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return l, nil
+	}
+	if string(buf[:len(walMagic)]) != walMagic {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is not a bcclap WAL", path)
+	}
+	good := int64(len(walMagic))
+	rest := buf[len(walMagic):]
+	maxLSN := snapLSN
+	for {
+		payload, size, ok := unframe(rest)
+		if !ok {
+			break
+		}
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			break // corrupt beyond framing: treat as torn from here
+		}
+		if rec.LSN > maxLSN {
+			if err := checkRecord(l.state, rec); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("store: replay LSN %d (%s %q): %w", rec.LSN, rec.Type, rec.Name, err)
+			}
+			applyRecord(l.state, rec)
+			maxLSN = rec.LSN
+			l.replayed++
+			l.walRecs++
+		}
+		// rec.LSN ≤ maxLSN: a pre-snapshot leftover (crash between the
+		// snapshot rename and the WAL truncation) — already folded in.
+		rest = rest[size:]
+		good += int64(size)
+	}
+	if good < int64(len(buf)) {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		l.truncated = int64(len(buf)) - good
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	l.walSize = good
+	l.nextLSN = maxLSN + 1
+	return l, nil
+}
+
+// resetWAL rewrites the WAL file as empty (magic header only).
+func (l *Log) resetWAL() error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := l.f.WriteAt([]byte(walMagic), 0); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := l.f.Seek(int64(len(walMagic)), 0); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	l.walSize = int64(len(walMagic))
+	l.walRecs = 0
+	return nil
+}
+
+// Append assigns the next LSN to rec, validates it against the
+// materialized state (so the WAL never holds a record that cannot replay),
+// makes it durable per the sync policy and applies it. A failed write
+// leaves the state unchanged and rolls the file back to the last record
+// boundary; if even the rollback fails the log is poisoned and every later
+// append returns the original error.
+func (l *Log) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.broken != nil {
+		return fmt.Errorf("store: log poisoned by earlier write failure: %w", l.broken)
+	}
+	rec.LSN = l.nextLSN
+	if err := checkRecord(l.state, &rec); err != nil {
+		return fmt.Errorf("store: append %s %q: %w", rec.Type, rec.Name, err)
+	}
+	fr := frame(encodeRecord(nil, &rec))
+	// rollback undoes a failed write or sync: the frame (possibly partial,
+	// possibly unsynced) must not stay on disk, or a later append would
+	// follow garbage — or reuse its LSN with different contents. If the
+	// rollback itself fails the log is poisoned.
+	rollback := func(cause error) {
+		if terr := l.f.Truncate(l.walSize); terr != nil {
+			l.broken = cause
+			return
+		}
+		if _, serr := l.f.Seek(l.walSize, 0); serr != nil {
+			l.broken = cause
+		}
+	}
+	if _, err := l.f.Write(fr); err != nil {
+		rollback(err)
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if l.opts.Sync == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			rollback(err)
+			return fmt.Errorf("store: append sync: %w", err)
+		}
+	}
+	applyRecord(l.state, &rec)
+	l.walSize += int64(len(fr))
+	l.nextLSN++
+	l.appends++
+	l.walRecs++
+	if l.opts.SnapshotEvery > 0 && l.walRecs >= l.opts.SnapshotEvery {
+		if err := l.snapshotLocked(); err != nil {
+			l.snapErrs++
+		}
+	}
+	return nil
+}
+
+// Snapshot forces a compaction: the full tenant state is written to a new
+// snapshot file (tmp + atomic rename), older snapshot generations beyond
+// snapKeep are pruned, and the WAL is truncated to empty.
+func (l *Log) Snapshot() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.snapshotLocked()
+}
+
+func (l *Log) snapshotLocked() error {
+	lastLSN := l.nextLSN - 1
+	payload := encodeSnapshot(nil, lastLSN, l.state)
+	body := append([]byte(snapMagic), frame(payload)...)
+	final := filepath.Join(l.dir, fmt.Sprintf("%s%016x%s", snapPrefix, lastLSN, snapSuffix))
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := syncFile(tmp); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	syncDir(l.dir)
+	// The snapshot is durable; everything below is cleanup. A crash here
+	// leaves stale WAL records (skipped on replay by LSN) or extra
+	// snapshot files (pruned next time) — never an unrecoverable state.
+	for _, old := range snapshotFiles(l.dir) {
+		if lsn, ok := snapshotLSN(old); ok && lsn < lastLSN {
+			if keepers := snapshotsAtOrAfter(l.dir, lsn); keepers > snapKeep {
+				os.Remove(filepath.Join(l.dir, old))
+			}
+		}
+	}
+	if err := l.resetWAL(); err != nil {
+		return err
+	}
+	l.snapshots++
+	return nil
+}
+
+// Tenants returns deep copies of the live tenant states, sorted by name.
+func (l *Log) Tenants() []TenantState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]TenantState, 0, len(l.state))
+	for _, ts := range l.state {
+		c := *ts
+		c.Arcs = slices.Clone(ts.Arcs)
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Stats snapshots the log counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Dir:            l.dir,
+		Tenants:        len(l.state),
+		NextLSN:        l.nextLSN,
+		Appends:        l.appends,
+		Snapshots:      l.snapshots,
+		SnapshotErrors: l.snapErrs,
+		Replayed:       l.replayed,
+		TruncatedBytes: l.truncated,
+		WALBytes:       l.walSize,
+	}
+}
+
+// Close compacts once more (best-effort, unless snapshots are disabled)
+// and closes the WAL file. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	var err error
+	if l.walRecs > 0 && l.opts.SnapshotEvery > 0 && l.broken == nil {
+		err = l.snapshotLocked()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.closed = true
+	return err
+}
+
+// checkRecord validates rec against the materialized state without
+// mutating it; a record that passes can never fail applyRecord.
+func checkRecord(state map[string]*TenantState, rec *Record) error {
+	ts := state[rec.Name]
+	switch rec.Type {
+	case RecRegister:
+		if ts != nil {
+			return fmt.Errorf("tenant already registered")
+		}
+	case RecSwap:
+		if ts == nil {
+			return fmt.Errorf("swap of unknown tenant")
+		}
+	case RecPatch:
+		if ts == nil {
+			return fmt.Errorf("patch of unknown tenant")
+		}
+		if err := graph.CheckDeltas(ts.Arcs, rec.Deltas); err != nil {
+			return err
+		}
+	case RecDeregister:
+		if ts == nil {
+			return fmt.Errorf("deregister of unknown tenant")
+		}
+	default:
+		return fmt.Errorf("unknown record type %d", rec.Type)
+	}
+	return nil
+}
+
+// applyRecord folds one checked record into the state.
+func applyRecord(state map[string]*TenantState, rec *Record) {
+	switch rec.Type {
+	case RecRegister:
+		state[rec.Name] = &TenantState{
+			Name: rec.Name, Version: rec.Version, Opts: rec.Opts,
+			N: rec.N, Arcs: slices.Clone(rec.Arcs),
+		}
+	case RecSwap:
+		ts := state[rec.Name]
+		ts.Version = rec.Version
+		ts.Opts = rec.Opts
+		ts.N = rec.N
+		ts.Arcs = slices.Clone(rec.Arcs)
+	case RecPatch:
+		ts := state[rec.Name]
+		if err := graph.PatchArcList(ts.Arcs, rec.Deltas); err != nil {
+			// checkRecord ran first; an error here is a programming error.
+			panic(fmt.Sprintf("store: checked patch failed to apply: %v", err))
+		}
+		ts.Version = rec.Version
+		ts.Patches++
+	case RecDeregister:
+		delete(state, rec.Name)
+	}
+}
+
+// encodeSnapshot appends the snapshot payload: the last folded LSN and
+// every tenant, sorted by name for deterministic bytes.
+func encodeSnapshot(buf []byte, lastLSN uint64, state map[string]*TenantState) []byte {
+	buf = binary.AppendUvarint(buf, lastLSN)
+	names := make([]string, 0, len(state))
+	for name := range state {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		ts := state[name]
+		buf = appendString(buf, ts.Name)
+		buf = binary.AppendUvarint(buf, ts.Version)
+		buf = binary.AppendUvarint(buf, ts.Patches)
+		buf = appendOpts(buf, ts.Opts)
+		buf = appendDigraph(buf, ts.N, ts.Arcs)
+	}
+	return buf
+}
+
+// decodeSnapshot parses a snapshot payload into (state, lastLSN).
+func decodeSnapshot(payload []byte) (map[string]*TenantState, uint64, error) {
+	d := &decoder{buf: payload}
+	lastLSN := d.uvarint("snapshot lsn")
+	n := d.count("tenant count")
+	state := make(map[string]*TenantState, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		ts := &TenantState{}
+		ts.Name = d.name()
+		ts.Version = d.uvarint("version")
+		ts.Patches = d.uvarint("patches")
+		ts.Opts = d.opts()
+		ts.N, ts.Arcs = d.digraph()
+		if d.err == nil {
+			if _, dup := state[ts.Name]; dup {
+				return nil, 0, d.failf("duplicate tenant %q", ts.Name)
+			}
+			state[ts.Name] = ts
+		}
+	}
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, 0, fmt.Errorf("store: snapshot has %d trailing bytes", len(d.buf))
+	}
+	return state, lastLSN, nil
+}
+
+// loadNewestSnapshot scans dir for snapshot files, newest first, and
+// returns the first that validates (empty state when none exists or none
+// validates — then the WAL alone carries the history).
+func loadNewestSnapshot(dir string) (map[string]*TenantState, uint64, error) {
+	files := snapshotFiles(dir)
+	for i := len(files) - 1; i >= 0; i-- {
+		body, err := os.ReadFile(filepath.Join(dir, files[i]))
+		if err != nil || len(body) < len(snapMagic) || string(body[:len(snapMagic)]) != snapMagic {
+			continue
+		}
+		payload, _, ok := unframe(body[len(snapMagic):])
+		if !ok {
+			continue
+		}
+		state, lastLSN, err := decodeSnapshot(payload)
+		if err != nil {
+			continue
+		}
+		return state, lastLSN, nil
+	}
+	return make(map[string]*TenantState), 0, nil
+}
+
+// snapshotFiles lists the snapshot file names in dir, sorted ascending by
+// name — and, the LSN being zero-padded hex, ascending by LSN.
+func snapshotFiles(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, snapPrefix) && strings.HasSuffix(name, snapSuffix) {
+			out = append(out, name)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// snapshotLSN extracts the LSN a snapshot file name encodes.
+func snapshotLSN(name string) (uint64, bool) {
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+	lsn, err := strconv.ParseUint(hex, 16, 64)
+	return lsn, err == nil
+}
+
+// snapshotsAtOrAfter counts snapshot files covering lsn or newer.
+func snapshotsAtOrAfter(dir string, lsn uint64) int {
+	n := 0
+	for _, name := range snapshotFiles(dir) {
+		if l, ok := snapshotLSN(name); ok && l >= lsn {
+			n++
+		}
+	}
+	return n
+}
+
+// removeTempFiles clears half-written snapshot temporaries from a crash.
+func removeTempFiles(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+func syncFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// syncDir makes a rename durable (best-effort; some filesystems reject
+// directory fsync).
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		f.Sync()
+		f.Close()
+	}
+}

@@ -1,9 +1,26 @@
 package bcclap
 
+import "bcclap/internal/store"
+
 // Functional options shared by every session constructor (NewFlowSolver,
 // NewLPSolver, NewLaplacianSession, SparsifyGraph). Options that do not
 // apply to a given entry point are ignored, so one option slice can
 // configure a whole pipeline.
+
+// SyncPolicy selects when the durable tenant store fsyncs its write-ahead
+// log (WithStoreSync).
+type SyncPolicy = store.SyncPolicy
+
+const (
+	// SyncAlways fsyncs after every appended record before the mutation
+	// takes effect: an acknowledged Register/Swap/PatchArcs/Deregister
+	// survives any crash. The default.
+	SyncAlways = store.SyncAlways
+	// SyncNever leaves flushing to the OS page cache: much faster appends,
+	// but records acknowledged since the last snapshot or sync may be lost
+	// on power failure (never corrupted — recovery truncates torn tails).
+	SyncNever = store.SyncNever
+)
 
 // Event is a progress notification delivered to WithProgress callbacks.
 type Event struct {
@@ -39,6 +56,9 @@ type config struct {
 	lpParams       LPParams
 	cacheSize      int
 	cacheSizeSet   bool
+	storeDir       string
+	storeSync      SyncPolicy
+	storeSnapEvery int
 }
 
 func applyOptions(opts []Option) config {
@@ -157,4 +177,37 @@ func WithLPParams(par LPParams) Option {
 // stretch, iterations). Applies to SparsifyGraph and NewLaplacianSession.
 func WithSparsifyParams(par SparsifyParams) Option {
 	return func(c *config) { c.sparsifyParams = par }
+}
+
+// WithStore makes a Service durable: tenant lifecycle mutations (Register,
+// Swap, PatchArcs, Deregister) are appended to a write-ahead log under dir
+// — durably, before they take effect — and periodically compacted into
+// snapshots, so OpenService on the same directory rebuilds every network,
+// version and resolved solver configuration without re-registration.
+// Results after recovery are bit-identical to the pre-crash service's.
+//
+// The persisted per-tenant configuration is the resolved serializable
+// subset: backend, seed, tolerance, retries, pool size, shards and cache
+// size. Process-local options (WithProgress, WithNetwork, WithLPParams,
+// WithSparsifyParams) are not persisted and must be re-supplied per
+// registration after a restart if needed. Applies to OpenService
+// (NewService ignores it).
+func WithStore(dir string) Option {
+	return func(c *config) { c.storeDir = dir }
+}
+
+// WithStoreSync selects the WAL fsync policy of a WithStore service:
+// SyncAlways (default, every acknowledged mutation survives a crash) or
+// SyncNever (faster, bounded loss of the most recent mutations on power
+// failure). Applies to OpenService.
+func WithStoreSync(p SyncPolicy) Option {
+	return func(c *config) { c.storeSync = p }
+}
+
+// WithSnapshotEvery sets how many WAL records accumulate before the store
+// folds them into a compacted snapshot (default store.DefaultSnapshotEvery;
+// negative disables automatic snapshots). Snapshots bound both recovery
+// replay time and log growth. Applies to OpenService.
+func WithSnapshotEvery(n int) Option {
+	return func(c *config) { c.storeSnapEvery = n }
 }

@@ -10,6 +10,9 @@ import (
 	"sync/atomic"
 
 	"bcclap/internal/cache"
+	"bcclap/internal/flow"
+	"bcclap/internal/graph"
+	"bcclap/internal/store"
 )
 
 // DefaultCacheSize is the per-network certified-result cache budget a
@@ -21,6 +24,10 @@ const DefaultCacheSize = 1024
 // misses, budget evictions, flush invalidations, current entries against
 // the budget).
 type CacheStats = cache.Stats
+
+// StoreStats re-exports the durable-store counters (appends, snapshots,
+// records replayed and bytes truncated at the last recovery).
+type StoreStats = store.Stats
 
 // Service is the multi-tenant top of the API: one process managing many
 // named, versioned flow networks over the session/pool machinery, the way
@@ -40,24 +47,41 @@ type CacheStats = cache.Stats
 // Deregister, and its hit/miss/eviction counters surface in NetworkStats
 // and ServiceStats.
 //
+// A service built by OpenService with WithStore is additionally durable:
+// every lifecycle mutation (Register, Swap, PatchArcs, Deregister) is
+// appended to a write-ahead log before it takes effect, and a restarted
+// process replays the log — so tenants, versions and configurations
+// survive crashes and serve bit-identical results without
+// re-registration.
+//
 // All Service and NetworkHandle methods are safe for concurrent use.
 type Service struct {
 	defaults []Option
+
+	// log is the durable tenant store (nil on a NewService-built,
+	// memory-only service). Records are appended before the mutation they
+	// describe takes effect; appends for one tenant serialize under that
+	// tenant's handle lock (Register under s.mu), so WAL order equals the
+	// order mutations became visible.
+	log *store.Log
 
 	mu     sync.RWMutex
 	nets   map[string]*NetworkHandle
 	closed bool
 
-	registered, deregistered, swaps atomic.Int64
+	registered, deregistered, swaps, patches atomic.Int64
 }
 
 // NetworkStats describes one tenant: identity (name, monotonic version),
 // network size, solver configuration and the pool/cache counters.
 type NetworkStats struct {
 	// Name and Version identify the tenant; Version starts at 1 and is
-	// bumped by every successful Swap.
+	// bumped by every successful Swap and PatchArcs.
 	Name    string
 	Version uint64
+	// Patches counts successful PatchArcs calls over the tenant's lifetime
+	// (persisted: it survives restarts of a durable service).
+	Patches uint64
 	// Vertices and Arcs size the currently served network.
 	Vertices, Arcs int
 	// Backend is the resolved AᵀDA backend name; PoolSize the worker-
@@ -76,11 +100,14 @@ type NetworkStats struct {
 type ServiceStats struct {
 	// Networks is the number of currently registered tenants.
 	Networks int
-	// Registered, Deregistered and Swaps count lifecycle events since
-	// NewService.
-	Registered, Deregistered, Swaps int64
+	// Registered, Deregistered, Swaps and Patches count lifecycle events
+	// since NewService/OpenService (replayed tenants count as Registered).
+	Registered, Deregistered, Swaps, Patches int64
 	// Cache sums the per-tenant cache counters.
 	Cache CacheStats
+	// Store snapshots the durable-store counters; nil on a memory-only
+	// service.
+	Store *StoreStats
 	// PerNetwork holds one record per live tenant, sorted by name.
 	PerNetwork []NetworkStats
 }
@@ -102,6 +129,113 @@ func NewService(opts ...Option) *Service {
 		defaults: slices.Clone(opts),
 		nets:     make(map[string]*NetworkHandle),
 	}
+}
+
+// OpenService builds a durable service: with WithStore(dir) among opts it
+// opens (or creates) the write-ahead log under dir, replays the persisted
+// tenant state — every network is rebuilt at its last version with its
+// resolved solver configuration, ready to serve bit-identical results
+// without re-registration — and then starts journaling new mutations.
+// Without WithStore it degenerates to NewService. WithStoreSync and
+// WithSnapshotEvery tune the store; the remaining opts are the usual
+// service-level defaults for new registrations (replayed tenants keep
+// their persisted configuration and ignore them).
+//
+// A directory may be open in at most one process at a time; Drain or
+// Close releases it.
+func OpenService(opts ...Option) (*Service, error) {
+	s := NewService(opts...)
+	cfg := applyOptions(opts)
+	if cfg.storeDir == "" {
+		return s, nil
+	}
+	lg, err := store.Open(cfg.storeDir, store.Options{
+		Sync:          cfg.storeSync,
+		SnapshotEvery: cfg.storeSnapEvery,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bcclap: open store: %w", err)
+	}
+	for _, ts := range lg.Tenants() {
+		if err := s.replayTenant(ts); err != nil {
+			lg.Close()
+			s.Close()
+			return nil, fmt.Errorf("bcclap: replay tenant %q: %w", ts.Name, err)
+		}
+	}
+	// Attach only after replay: rebuilding a persisted tenant must not
+	// journal a fresh register record.
+	s.log = lg
+	return s, nil
+}
+
+// tenantOptsOf resolves the serializable subset of a merged option slice —
+// what a restarted process needs to rebuild the tenant's solver so that it
+// answers bit-identically (backend, seed, tolerance, retries, pool
+// geometry, cache budget). Process-local options (progress callbacks,
+// round simulators, LP/sparsifier parameter structs) are not persisted.
+func tenantOptsOf(merged []Option) store.TenantOpts {
+	cfg := applyOptions(merged)
+	return store.TenantOpts{
+		Backend:      cfg.backend,
+		Seed:         cfg.seed,
+		Tol:          cfg.tol,
+		Retries:      cfg.retries,
+		Pool:         cfg.poolSize,
+		Shards:       cfg.shards,
+		CacheSize:    cfg.cacheSize,
+		CacheSizeSet: cfg.cacheSizeSet,
+	}
+}
+
+// tenantOptions is the inverse of tenantOptsOf: the option slice that
+// rebuilds a replayed tenant. It intentionally does not layer over the
+// current service defaults — the persisted values are already resolved
+// against the defaults in force at the original Register/Swap.
+func tenantOptions(o store.TenantOpts) []Option {
+	opts := []Option{
+		WithBackend(o.Backend),
+		WithSeed(o.Seed),
+		WithTolerance(o.Tol),
+		WithRetries(o.Retries),
+		WithPoolSize(o.Pool),
+		WithShards(o.Shards),
+	}
+	if o.CacheSizeSet {
+		opts = append(opts, WithCacheSize(o.CacheSize))
+	}
+	return opts
+}
+
+// replayTenant rebuilds one persisted tenant during OpenService (the log
+// is not attached yet, so nothing is re-journaled).
+func (s *Service) replayTenant(ts store.TenantState) error {
+	d := NewDigraph(ts.N)
+	for _, a := range ts.Arcs {
+		if _, err := d.AddArc(a.From, a.To, a.Cap, a.Cost); err != nil {
+			return err
+		}
+	}
+	opts := tenantOptions(ts.Opts)
+	solver, cacheSize, err := newTenantSolver(d, opts)
+	if err != nil {
+		return err
+	}
+	h := &NetworkHandle{
+		name:    ts.Name,
+		svc:     s,
+		opts:    opts,
+		solver:  solver,
+		d:       d,
+		version: ts.Version,
+		patches: ts.Patches,
+		cache:   cache.New[*FlowResult](cacheSize),
+	}
+	s.mu.Lock()
+	s.nets[ts.Name] = h
+	s.mu.Unlock()
+	s.registered.Add(1)
+	return nil
 }
 
 // validName rejects names that cannot round-trip through the REST surface
@@ -152,9 +286,12 @@ func (s *Service) Register(name string, d *Digraph, opts ...Option) (*NetworkHan
 		return nil, err
 	}
 	merged := append(slices.Clone(s.defaults), opts...)
+	// The handle owns a private copy: PatchArcs mutates arc capacities and
+	// costs in place, and the caller keeps using its digraph.
+	held := d.Clone()
 	// Construct outside the lock: solver construction does real work and
 	// must not serialize tenants; the name reservation below re-checks.
-	solver, cacheSize, err := newTenantSolver(d, merged)
+	solver, cacheSize, err := newTenantSolver(held, merged)
 	if err != nil {
 		return nil, err
 	}
@@ -163,7 +300,7 @@ func (s *Service) Register(name string, d *Digraph, opts ...Option) (*NetworkHan
 		svc:     s,
 		opts:    merged,
 		solver:  solver,
-		d:       d,
+		d:       held,
 		version: 1,
 		cache:   cache.New[*FlowResult](cacheSize),
 	}
@@ -177,6 +314,19 @@ func (s *Service) Register(name string, d *Digraph, opts ...Option) (*NetworkHan
 		s.mu.Unlock()
 		solver.Close()
 		return nil, fmt.Errorf("bcclap: network %q: %w", name, ErrNetworkExists)
+	}
+	// Journal-before-effect: the registration is durable before the name
+	// becomes visible; a failed append registers nothing.
+	if s.log != nil {
+		rec := store.Record{
+			Type: store.RecRegister, Name: name, Version: 1,
+			Opts: tenantOptsOf(merged), N: held.N(), Arcs: held.Arcs(),
+		}
+		if err := s.log.Append(rec); err != nil {
+			s.mu.Unlock()
+			solver.Close()
+			return nil, fmt.Errorf("bcclap: register %q: %w", name, err)
+		}
 	}
 	s.nets[name] = h
 	s.mu.Unlock()
@@ -199,22 +349,49 @@ func (s *Service) Get(name string) (*NetworkHandle, error) {
 	return h, nil
 }
 
-// Deregister retires the named network: the name is freed immediately,
-// the tenant's cache is invalidated, and the handle's solver is drained —
-// in-flight queries finish, later ones fail with ErrSolverClosed. Other
-// tenants are untouched. Unknown names fail with ErrNetworkUnknown.
+// Deregister retires the named network: the retirement is journaled (on a
+// durable service), the name is freed, the tenant's cache is invalidated,
+// and the handle's solver is drained — in-flight queries finish, later
+// ones fail with ErrSolverClosed. Other tenants are untouched. Unknown
+// names fail with ErrNetworkUnknown.
 func (s *Service) Deregister(name string) error {
-	s.mu.Lock()
+	s.mu.RLock()
 	h, ok := s.nets[name]
-	if ok {
-		delete(s.nets, name)
-	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("bcclap: network %q: %w", name, ErrNetworkUnknown)
 	}
+	// The deregister record is appended under the handle lock, before the
+	// handle closes: per-tenant appends (swap, patch, deregister) all hold
+	// h.mu, so WAL order equals the order mutations became visible, and a
+	// failed append leaves the tenant serving.
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return fmt.Errorf("bcclap: network %q: %w", name, ErrNetworkUnknown)
+	}
+	if s.log != nil {
+		rec := store.Record{Type: store.RecDeregister, Name: name, Version: h.version}
+		if err := s.log.Append(rec); err != nil {
+			h.mu.Unlock()
+			return fmt.Errorf("bcclap: deregister %q: %w", name, err)
+		}
+	}
+	h.closed = true
+	solver := h.solver
+	h.cache.Flush()
+	h.mu.Unlock()
+	s.mu.Lock()
+	if s.nets[name] == h {
+		delete(s.nets, name)
+	}
+	s.mu.Unlock()
 	s.deregistered.Add(1)
-	return h.retire(context.Background())
+	if err := solver.Drain(context.Background()); err != nil {
+		solver.Close()
+		return err
+	}
+	return nil
 }
 
 // Names lists the registered networks, sorted.
@@ -244,6 +421,11 @@ func (s *Service) ServiceStats() ServiceStats {
 		Registered:   s.registered.Load(),
 		Deregistered: s.deregistered.Load(),
 		Swaps:        s.swaps.Load(),
+		Patches:      s.patches.Load(),
+	}
+	if s.log != nil {
+		ls := s.log.Stats()
+		st.Store = &ls
 	}
 	for _, h := range handles {
 		ns := h.Stats()
@@ -259,7 +441,10 @@ func (s *Service) ServiceStats() ServiceStats {
 // Drain gracefully shuts the whole service down: intake stops (Register,
 // Get and every handle's Solve fail with ErrSolverClosed), every tenant's
 // in-flight queries finish within ctx's budget, and the first drain error
-// (if any) is returned after all tenants have stopped.
+// (if any) is returned after all tenants have stopped. On a durable
+// service the store is compacted and released afterwards — shutting down
+// is not deregistration, so the tenants stay journaled and OpenService on
+// the same directory brings them all back.
 func (s *Service) Drain(ctx context.Context) error {
 	handles := s.takeAll()
 	var (
@@ -281,12 +466,22 @@ func (s *Service) Drain(ctx context.Context) error {
 		}(h)
 	}
 	wg.Wait()
+	// Close the log only after every tenant has stopped mutating: appends
+	// hold the handle locks the retires above contend on, so none can
+	// arrive after this point.
+	if s.log != nil {
+		if err := s.log.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("bcclap: close store: %w", err)
+		}
+	}
 	return firstErr
 }
 
 // Close shuts the service down immediately: every tenant's queued queries
-// fail and running solves are canceled within one solver iteration. Safe
-// to call after Drain, and more than once.
+// fail and running solves are canceled within one solver iteration, and
+// on a durable service the store is released (its journaled tenants
+// survive for the next OpenService). Safe to call after Drain, and more
+// than once.
 func (s *Service) Close() {
 	for _, h := range s.takeAll() {
 		h.mu.Lock()
@@ -295,6 +490,9 @@ func (s *Service) Close() {
 		h.cache.Flush()
 		h.mu.Unlock()
 		solver.Close()
+	}
+	if s.log != nil {
+		s.log.Close()
 	}
 }
 
@@ -321,11 +519,17 @@ type NetworkHandle struct {
 	name string
 	svc  *Service
 
+	// mutating serializes tenant mutations (Swap, PatchArcs, each of which
+	// does real work outside h.mu): a second mutation arriving while one is
+	// in flight fails fast with ErrNetworkBusy instead of queueing.
+	mutating atomic.Bool
+
 	mu      sync.RWMutex
 	opts    []Option // merged service defaults + register/swap overrides
 	solver  *FlowSolver
-	d       *Digraph
+	d       *Digraph // handle-private clone; PatchArcs mutates it in place
 	version uint64
+	patches uint64
 	cache   *cache.Cache[*FlowResult]
 	closed  bool
 }
@@ -334,8 +538,9 @@ type NetworkHandle struct {
 func (h *NetworkHandle) Name() string { return h.name }
 
 // Version returns the monotonic network version: 1 at Register, bumped by
-// every successful Swap. Cached results are keyed by it, so a version
-// bump makes every pre-swap entry unreachable.
+// every successful Swap and PatchArcs. Cached results are keyed by it; a
+// swap makes every old entry unreachable, while a patch migrates the
+// still-valid entries to the new version (see PatchArcs).
 func (h *NetworkHandle) Version() uint64 {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
@@ -395,11 +600,13 @@ func (h *NetworkHandle) swappedSince(ver uint64) bool {
 // Solve answers one (s, t) query: a cache hit returns the previously
 // certified result in O(1) — bit-identical in value, cost and flow vector
 // to a fresh solve, with Stats.CacheHit set — and a miss solves on the
-// tenant's pool and populates the cache. A query that loses the race with
-// a concurrent Swap transparently retries on the new network, so tenants
-// never observe spurious shutdown errors from their own swaps. Sentinels
-// match FlowSolver.Solve (ErrBadQuery, ctx errors), plus ErrSolverClosed
-// after Deregister.
+// tenant's pool with warm-start semantics (a pair the pool has already
+// answered re-centers the previous certified solution, which is what
+// makes resolves after PatchArcs cheap) and populates the cache. A query
+// that loses the race with a concurrent Swap transparently retries on the
+// new network, so tenants never observe spurious shutdown errors from
+// their own swaps. Sentinels match FlowSolver.Solve (ErrBadQuery, ctx
+// errors), plus ErrSolverClosed after Deregister.
 func (h *NetworkHandle) Solve(ctx context.Context, s, t int) (*FlowResult, error) {
 	for {
 		solver, ver, c, err := h.snapshot()
@@ -410,7 +617,7 @@ func (h *NetworkHandle) Solve(ctx context.Context, s, t int) (*FlowResult, error
 		if res, ok := c.Get(key); ok {
 			return cloneResult(res, true), nil
 		}
-		res, err := solver.Solve(ctx, s, t)
+		res, err := solver.solveWarm(ctx, s, t)
 		if errors.Is(err, ErrSolverClosed) && h.swappedSince(ver) {
 			continue
 		}
@@ -468,17 +675,24 @@ func (h *NetworkHandle) SolveBatch(ctx context.Context, queries []FlowQuery) ([]
 // Swap atomically replaces the tenant's network with d: a new pooled
 // solver is built first (per-call opts layer over the handle's existing
 // options and stick for future swaps), then — under one critical section
-// — the solver is switched, the version bumped and the tenant's cache
-// invalidated. Queries in flight at the switch finish against the old
-// network (its solver is drained, not killed), queries after it certify
-// against d, and no other tenant is disturbed at any point. A failed
-// construction (empty digraph, unknown backend) leaves the handle
-// serving the old network unchanged.
+// — the swap is journaled (on a durable service), the solver switched,
+// the version bumped and the tenant's cache invalidated. Queries in
+// flight at the switch finish against the old network (its solver is
+// drained, not killed), queries after it certify against d, and no other
+// tenant is disturbed at any point. Any failure — construction (empty
+// digraph, unknown backend) or journaling — leaves the handle serving the
+// old network unchanged. A Swap racing another Swap or PatchArcs on the
+// same tenant fails with ErrNetworkBusy (mutations serialize per tenant).
 func (h *NetworkHandle) Swap(d *Digraph, opts ...Option) error {
+	if !h.mutating.CompareAndSwap(false, true) {
+		return fmt.Errorf("bcclap: network %q: %w", h.name, ErrNetworkBusy)
+	}
+	defer h.mutating.Store(false)
 	h.mu.RLock()
 	merged := append(slices.Clone(h.opts), opts...)
 	h.mu.RUnlock()
-	solver, cacheSize, err := newTenantSolver(d, merged)
+	held := d.Clone()
+	solver, cacheSize, err := newTenantSolver(held, merged)
 	if err != nil {
 		return err
 	}
@@ -488,10 +702,21 @@ func (h *NetworkHandle) Swap(d *Digraph, opts ...Option) error {
 		solver.Close()
 		return fmt.Errorf("bcclap: network %q: %w", h.name, ErrSolverClosed)
 	}
+	if h.svc.log != nil {
+		rec := store.Record{
+			Type: store.RecSwap, Name: h.name, Version: h.version + 1,
+			Opts: tenantOptsOf(merged), N: held.N(), Arcs: held.Arcs(),
+		}
+		if err := h.svc.log.Append(rec); err != nil {
+			h.mu.Unlock()
+			solver.Close()
+			return fmt.Errorf("bcclap: swap %q: %w", h.name, err)
+		}
+	}
 	old := h.solver
 	h.opts = merged
 	h.solver = solver
-	h.d = d
+	h.d = held
 	h.version++
 	// Whole-tenant invalidation. The cache object survives the swap; it
 	// is only rebuilt when the budget changed, and then the cumulative
@@ -513,6 +738,97 @@ func (h *NetworkHandle) Swap(d *Digraph, opts ...Option) error {
 	return nil
 }
 
+// PatchArcs applies an all-or-nothing set of arc capacity/cost deltas to
+// the tenant's network — the incremental alternative to Swap when
+// topology is unchanged. Instead of building a new solver, the patch is
+// journaled (on a durable service) and folded into the live worker
+// sessions, which keep their LP structure, backend workspaces and
+// warm-start state: the next solve of an affected terminal pair
+// re-centers from the pre-patch optimum rather than re-running path
+// following from scratch.
+//
+// The cache is invalidated selectively, not flushed: entries whose flow
+// routes through a modified arc are dropped, and every other entry is
+// re-certified against the patched network — kept (migrated to the new
+// version) only if its flow is still provably optimal. Kept entries are
+// exact, certified answers; note that after a patch a cached flow vector
+// may differ from the one a fresh solve would pick when the optimum is
+// degenerate, while value and cost always agree.
+//
+// Malformed delta sets (empty, arc index out of range, capacity driven
+// non-positive) fail with ErrBadPatch before any state — durable or
+// in-memory — changes. A PatchArcs racing another PatchArcs or Swap on
+// the same tenant fails with ErrNetworkBusy.
+func (h *NetworkHandle) PatchArcs(deltas []ArcDelta) error {
+	if len(deltas) == 0 {
+		return fmt.Errorf("bcclap: network %q: %w: empty delta set", h.name, ErrBadPatch)
+	}
+	if !h.mutating.CompareAndSwap(false, true) {
+		return fmt.Errorf("bcclap: network %q: %w", h.name, ErrNetworkBusy)
+	}
+	defer h.mutating.Store(false)
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return fmt.Errorf("bcclap: network %q: %w", h.name, ErrSolverClosed)
+	}
+	if err := graph.CheckDeltas(h.d.Arcs(), deltas); err != nil {
+		h.mu.Unlock()
+		return fmt.Errorf("bcclap: network %q: %w", h.name, err)
+	}
+	oldVer, newVer := h.version, h.version+1
+	if h.svc.log != nil {
+		rec := store.Record{
+			Type: store.RecPatch, Name: h.name, Version: newVer,
+			Deltas: slices.Clone(deltas),
+		}
+		if err := h.svc.log.Append(rec); err != nil {
+			h.mu.Unlock()
+			return fmt.Errorf("bcclap: patch %q: %w", h.name, err)
+		}
+	}
+	if err := h.d.ApplyDeltas(deltas); err != nil {
+		// CheckDeltas passed above under the same lock, so this cannot
+		// fail; surface it rather than diverge from the journal if it ever
+		// does.
+		h.mu.Unlock()
+		return fmt.Errorf("bcclap: network %q: %w", h.name, err)
+	}
+	h.version = newVer
+	h.patches++
+	touched := make(map[int]struct{}, len(deltas))
+	for _, dl := range deltas {
+		touched[dl.Arc] = struct{}{}
+	}
+	// Selective invalidation: drop entries whose flow uses a modified arc
+	// (their cost certainly changed), then re-certify the rest against the
+	// patched network — a flow avoiding every touched arc can still lose
+	// optimality (a patched arc may now offer a cheaper or wider route).
+	d := h.d
+	h.cache.Rekey(oldVer, newVer, func(k cache.Key, res *FlowResult) bool {
+		for a := range touched {
+			if a < len(res.Flows) && res.Flows[a] != 0 {
+				return true
+			}
+		}
+		return flow.CertifyOptimal(d, k.S, k.T, res.Flows) != nil
+	})
+	// Enqueue on every worker while still holding the write lock — no query
+	// can slip between the version bump and the patch broadcast — then wait
+	// outside it so queries ahead of the patch in the worker queues can
+	// finish.
+	wait, err := h.solver.patchAsync(deltas)
+	h.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("bcclap: patch %q: %w", h.name, err)
+	}
+	if err := wait(); err != nil {
+		return fmt.Errorf("bcclap: patch %q: %w", h.name, err)
+	}
+	h.svc.patches.Add(1)
+	return nil
+}
+
 // Stats snapshots the tenant (see NetworkStats).
 func (h *NetworkHandle) Stats() NetworkStats {
 	h.mu.RLock()
@@ -520,6 +836,7 @@ func (h *NetworkHandle) Stats() NetworkStats {
 	return NetworkStats{
 		Name:     h.name,
 		Version:  h.version,
+		Patches:  h.patches,
 		Vertices: h.d.N(),
 		Arcs:     h.d.M(),
 		Backend:  h.solver.Backend(),

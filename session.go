@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"bcclap/internal/flow"
+	"bcclap/internal/graph"
 	"bcclap/internal/lapsolver"
 	"bcclap/internal/lp"
 	"bcclap/internal/pool"
@@ -151,11 +152,14 @@ func NewFlowSolver(d *Digraph, opts ...Option) (*FlowSolver, error) {
 		// Every worker session gets identical options (flow takes the seed
 		// by pointer and derives a fresh per-query stream from it), so any
 		// worker answers any query exactly as the sequential session would.
+		// Each worker owns a private digraph clone: PatchArcs mutates arc
+		// capacities/costs on the worker goroutines, and a shared arc slice
+		// would race with reads on the others.
 		p, err := pool.New(pool.Config{
 			Shards:  shards,
 			Workers: cfg.poolSize,
 			New: func(int) (pool.Session, error) {
-				return flow.NewSolver(d, fopts)
+				return flow.NewSolver(d.Clone(), fopts)
 			},
 		})
 		if err != nil {
@@ -163,7 +167,9 @@ func NewFlowSolver(d *Digraph, opts ...Option) (*FlowSolver, error) {
 		}
 		return &FlowSolver{pool: p, backend: backend}, nil
 	}
-	inner, err := flow.NewSolver(d, fopts)
+	// The sequential session also takes a clone, so a caller-held digraph
+	// is never mutated behind the caller's back by PatchArcs.
+	inner, err := flow.NewSolver(d.Clone(), fopts)
 	if err != nil {
 		return nil, err
 	}
@@ -230,6 +236,87 @@ func (fs *FlowSolver) SolveBatch(ctx context.Context, queries []FlowQuery) ([]*F
 		out[i] = fs.newResult(res)
 	}
 	return out, nil
+}
+
+// solveWarm answers one query with batch (warm-start) semantics: a repeat
+// of a terminal pair this solver has already answered re-centers the
+// previous certified solution instead of re-running path following,
+// falling back to a cold solve whenever the exactness certificate rejects
+// the shortcut. First queries of a pair behave exactly like Solve. The
+// service layer routes single queries here so that resolves after
+// PatchArcs warm-start from the pre-patch optimum.
+func (fs *FlowSolver) solveWarm(ctx context.Context, s, t int) (*FlowResult, error) {
+	var (
+		res *flow.Result
+		err error
+	)
+	if fs.pool != nil {
+		res, err = fs.pool.SolveWarm(ctx, s, t)
+	} else if fs.closed.Load() {
+		return nil, fmt.Errorf("bcclap: %w", ErrSolverClosed)
+	} else {
+		res, err = fs.inner.SolveWarm(ctx, flow.Query{S: s, T: t})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return fs.newResult(res), nil
+}
+
+// PatchArcs applies an all-or-nothing set of arc capacity/cost deltas to
+// every worker session, without rebuilding the solver: the LP constraint
+// structure (which depends only on topology) and the linear-solve backend
+// workspaces survive, and previously answered terminal pairs keep their
+// warm-start state, so the next solve of an affected pair re-centers from
+// the pre-patch optimum rather than re-running path following. Malformed
+// delta sets (empty, index out of range, capacity driven non-positive)
+// fail with ErrBadPatch before anything mutates. On a pooled solver the
+// patch is applied atomically with respect to queries: it enqueues on
+// every worker and PatchArcs returns once all workers have folded it in,
+// so no query started after PatchArcs returns sees pre-patch arcs.
+// Concurrent callers must serialize PatchArcs against Solve/SolveBatch
+// themselves when they need a precise ordering (the Service layer does).
+func (fs *FlowSolver) PatchArcs(deltas []ArcDelta) error {
+	wait, err := fs.patchAsync(deltas)
+	if err != nil {
+		return err
+	}
+	return wait()
+}
+
+// patchAsync enqueues the patch and returns a wait function. The service
+// layer calls it while holding the handle write lock — the enqueue is the
+// linearization point against queries — and waits after unlocking.
+func (fs *FlowSolver) patchAsync(deltas []ArcDelta) (func() error, error) {
+	if len(deltas) == 0 {
+		return nil, fmt.Errorf("bcclap: %w: empty delta set", ErrBadPatch)
+	}
+	// Clone: the enqueued closure outlives this call, and callers may
+	// reuse or mutate their slice as soon as we return.
+	ds := append([]ArcDelta(nil), deltas...)
+	if fs.pool != nil {
+		wait, err := fs.pool.Patch(func(s pool.Session) error {
+			ps, ok := s.(interface {
+				ApplyArcDeltas([]graph.ArcDelta) error
+			})
+			if !ok {
+				return fmt.Errorf("bcclap: pool session %T does not support arc patches", s)
+			}
+			return ps.ApplyArcDeltas(ds)
+		})
+		if err != nil {
+			if errors.Is(err, pool.ErrClosed) {
+				return nil, fmt.Errorf("bcclap: %w", ErrSolverClosed)
+			}
+			return nil, err
+		}
+		return wait, nil
+	}
+	if fs.closed.Load() {
+		return nil, fmt.Errorf("bcclap: %w", ErrSolverClosed)
+	}
+	err := fs.inner.ApplyArcDeltas(ds)
+	return func() error { return err }, nil
 }
 
 // Drain gracefully shuts the solver down: new queries are rejected with

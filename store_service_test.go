@@ -1,0 +1,354 @@
+package bcclap
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// twoIslandNetwork builds two disconnected two-path islands in one
+// digraph, so terminal pairs (0,2) and (3,5) have provably disjoint arc
+// supports: a patch on one island can never touch a flow on the other.
+//
+//	island A: 0→1→2 plus shortcut 0→2   (arcs 0,1,2)
+//	island B: 3→4→5 plus shortcut 3→5   (arcs 3,4,5)
+func twoIslandNetwork(t *testing.T) *Digraph {
+	t.Helper()
+	d := NewDigraph(6)
+	for _, a := range [][4]int64{
+		{0, 1, 4, 1}, {1, 2, 4, 1}, {0, 2, 3, 5},
+		{3, 4, 4, 1}, {4, 5, 4, 1}, {3, 5, 3, 5},
+	} {
+		if _, err := d.AddArc(int(a[0]), int(a[1]), a[2], a[3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+// Acceptance: a durable service restarted from its data directory serves
+// every tenant at its exact pre-shutdown version — including patches —
+// with bit-identical solve results and no re-registration.
+func TestServiceRestartBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	dA, dB := testFlowNetwork(5, 41), testFlowNetwork(6, 42)
+	deltas := []ArcDelta{{Arc: 0, CapDelta: 2, CostDelta: 1}, {Arc: 2, CostDelta: -1}}
+
+	svc, err := OpenService(WithStore(dir), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := svc.Register("tenant-a", dA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Register("tenant-b", dB, WithBackend("dense"), WithCacheSize(32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PatchArcs(deltas); err != nil {
+		t.Fatal(err)
+	}
+	before, err := a.Solve(ctx, 0, dA.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2, err := OpenService(WithStore(dir), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if got := svc2.Names(); !reflect.DeepEqual(got, []string{"tenant-a", "tenant-b"}) {
+		t.Fatalf("recovered tenants = %v", got)
+	}
+	a2, err := svc2.Get("tenant-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := a2.Stats()
+	if st.Version != 2 || st.Patches != 1 {
+		t.Fatalf("tenant-a recovered at v%d with %d patches, want v2 with 1", st.Version, st.Patches)
+	}
+	if b2, err := svc2.Get("tenant-b"); err != nil {
+		t.Fatal(err)
+	} else if bst := b2.Stats(); bst.Version != 1 || bst.Backend != "dense" || bst.Cache.Capacity != 32 {
+		t.Fatalf("tenant-b recovered as %+v, want v1 dense cache 32", bst)
+	}
+	after, err := a2.Solve(ctx, 0, dA.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Stats.CacheHit {
+		t.Fatal("cache contents are not persisted; first post-restart solve cannot be a hit")
+	}
+	if after.Value != before.Value || after.Cost != before.Cost || !reflect.DeepEqual(after.Flows, before.Flows) {
+		t.Fatalf("post-restart solve diverged: (value %d cost %d flows %v) vs (value %d cost %d flows %v)",
+			after.Value, after.Cost, after.Flows, before.Value, before.Cost, before.Flows)
+	}
+
+	// Lifecycle counters survive: both tenants count as registered, the
+	// patch count is restored, and the store stats are exposed.
+	ss := svc2.ServiceStats()
+	if ss.Networks != 2 || ss.Registered != 2 {
+		t.Fatalf("replayed service stats %+v", ss)
+	}
+	if ss.Store == nil || ss.Store.Tenants != 2 {
+		t.Fatalf("ServiceStats.Store = %+v, want 2 tenants", ss.Store)
+	}
+
+	// The replayed tenant keeps evolving durably: patch again, restart
+	// again, and the version chain continues.
+	if err := a2.PatchArcs([]ArcDelta{{Arc: 1, CapDelta: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc2.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	svc3, err := OpenService(WithStore(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc3.Close()
+	a3, err := svc3.Get("tenant-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := a3.Stats(); st.Version != 3 || st.Patches != 2 {
+		t.Fatalf("tenant-a after second restart: v%d patches %d, want v3 patches 2", st.Version, st.Patches)
+	}
+}
+
+// A deregistered tenant must stay gone across a restart.
+func TestServiceRestartDeregister(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := OpenService(WithStore(dir), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Register("keep", testFlowNetwork(5, 41)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Register("gone", testFlowNetwork(5, 42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Deregister("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	svc2, err := OpenService(WithStore(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if got := svc2.Names(); !reflect.DeepEqual(got, []string{"keep"}) {
+		t.Fatalf("recovered tenants = %v, want [keep]", got)
+	}
+}
+
+// PatchArcs must invalidate exactly the cache entries whose flow routes
+// through a modified arc: the untouched island's entry survives as a
+// certified hit at the new version, the touched island's entry is
+// dropped and re-solved.
+func TestServicePatchSelectiveInvalidation(t *testing.T) {
+	ctx := context.Background()
+	svc := NewService(WithSeed(9))
+	defer svc.Close()
+	h, err := svc.Register("islands", twoIslandNetwork(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the cache with one pair per island.
+	coldA, err := h.Solve(ctx, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Solve(ctx, 3, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Reprice island B's backbone (arcs 3 and 4 carry flow for (3,5);
+	// island A's flow has zero on them).
+	if err := h.PatchArcs([]ArcDelta{{Arc: 3, CostDelta: 2}, {Arc: 4, CapDelta: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := h.Stats(); st.Version != 2 || st.Patches != 1 {
+		t.Fatalf("post-patch stats v%d patches %d, want v2 patches 1", st.Version, st.Patches)
+	}
+
+	resA, err := h.Solve(ctx, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resA.Stats.CacheHit {
+		t.Fatal("untouched island's entry was invalidated by the patch")
+	}
+	if resA.Value != coldA.Value || resA.Cost != coldA.Cost || !reflect.DeepEqual(resA.Flows, coldA.Flows) {
+		t.Fatal("surviving cache entry is not bit-identical to the pre-patch answer")
+	}
+	resB, err := h.Solve(ctx, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.Stats.CacheHit {
+		t.Fatal("touched island's entry survived the patch")
+	}
+	// The re-solve reflects the patch: backbone repriced +2 per unit on
+	// arcs 3 (cap 4) and widened arc 4. Max flow 3+4=7 pre-patch vs new
+	// caps: arcs 3,4 now cap 4,5 and shortcut 3. Just verify against an
+	// independently patched graph via the exact baseline in Solve's own
+	// certification — value must not regress below the pre-patch max.
+	if resB.Value < 7 {
+		t.Fatalf("post-patch (3,5) value = %d, want ≥ 7", resB.Value)
+	}
+	if st := h.Stats(); st.Cache.Invalidations != 1 {
+		t.Fatalf("Cache.Invalidations = %d, want exactly 1 (the touched pair)", st.Cache.Invalidations)
+	}
+}
+
+// Malformed patches fail with ErrBadPatch before any state changes.
+func TestServicePatchValidation(t *testing.T) {
+	svc := NewService(WithSeed(9))
+	defer svc.Close()
+	h, err := svc.Register("net", twoIslandNetwork(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range [][]ArcDelta{
+		nil,
+		{},
+		{{Arc: -1}},
+		{{Arc: 6}},
+		{{Arc: 0, CapDelta: -4}},
+	} {
+		if err := h.PatchArcs(ds); !errors.Is(err, ErrBadPatch) {
+			t.Fatalf("deltas %v: err = %v, want ErrBadPatch", ds, err)
+		}
+	}
+	if st := h.Stats(); st.Version != 1 || st.Patches != 0 {
+		t.Fatalf("rejected patches mutated the tenant: %+v", st)
+	}
+}
+
+// A tenant mid-mutation rejects further mutations with ErrNetworkBusy
+// instead of queueing them.
+func TestServiceMutationBusy(t *testing.T) {
+	svc := NewService(WithSeed(9))
+	defer svc.Close()
+	h, err := svc.Register("net", twoIslandNetwork(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.mutating.Store(true)
+	if err := h.PatchArcs([]ArcDelta{{Arc: 0, CapDelta: 1}}); !errors.Is(err, ErrNetworkBusy) {
+		t.Fatalf("PatchArcs during mutation: %v, want ErrNetworkBusy", err)
+	}
+	if err := h.Swap(twoIslandNetwork(t)); !errors.Is(err, ErrNetworkBusy) {
+		t.Fatalf("Swap during mutation: %v, want ErrNetworkBusy", err)
+	}
+	h.mutating.Store(false)
+	if err := h.PatchArcs([]ArcDelta{{Arc: 0, CapDelta: 1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression: a failed Swap — solver construction or journal append —
+// must leave the tenant fully intact: same version, same network, cache
+// still warm.
+func TestServiceSwapAtomicUnderFailure(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	svc, err := OpenService(WithStore(dir), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	h, err := svc.Register("prod", twoIslandNetwork(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := h.Solve(ctx, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Failure mode 1: the replacement solver cannot be built.
+	if err := h.Swap(testFlowNetwork(5, 50), WithBackend("nope")); !errors.Is(err, ErrBackendUnknown) {
+		t.Fatalf("swap with bad backend: %v, want ErrBackendUnknown", err)
+	}
+	// Failure mode 2: the journal append fails (log already closed).
+	if err := svc.log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Swap(testFlowNetwork(5, 50)); err == nil {
+		t.Fatal("swap with a broken journal succeeded")
+	}
+	if err := h.PatchArcs([]ArcDelta{{Arc: 0, CapDelta: 1}}); err == nil {
+		t.Fatal("patch with a broken journal succeeded")
+	}
+	if _, err := svc.Register("late", testFlowNetwork(5, 51)); err == nil {
+		t.Fatal("register with a broken journal succeeded")
+	}
+
+	// The tenant still serves its original state, cache intact.
+	st := h.Stats()
+	if st.Version != 1 || st.Patches != 0 || st.Vertices != 6 {
+		t.Fatalf("failed mutations moved the tenant: %+v", st)
+	}
+	res, err := h.Solve(ctx, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.CacheHit || res.Value != warm.Value || res.Cost != warm.Cost {
+		t.Fatalf("cache lost after failed swap: hit=%v value=%d cost=%d", res.Stats.CacheHit, res.Value, res.Cost)
+	}
+	if got := svc.Names(); !reflect.DeepEqual(got, []string{"prod"}) {
+		t.Fatalf("failed register leaked a tenant: %v", got)
+	}
+}
+
+// A patched tenant's answers must match a tenant registered directly on
+// the patched network — the incremental path changes no semantics.
+func TestServicePatchEquivalentToSwap(t *testing.T) {
+	ctx := context.Background()
+	d := testFlowNetwork(6, 44)
+	deltas := []ArcDelta{{Arc: 0, CapDelta: 3}, {Arc: d.M() - 1, CostDelta: 1}}
+	patched := d.Clone()
+	if err := patched.ApplyDeltas(deltas); err != nil {
+		t.Fatal(err)
+	}
+
+	svc := NewService(WithSeed(9))
+	defer svc.Close()
+	inc, err := svc.Register("incremental", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Solve(ctx, 0, d.N()-1); err != nil { // warm the sessions
+		t.Fatal(err)
+	}
+	if err := inc.PatchArcs(deltas); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := svc.Register("reference", patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inc.Solve(ctx, 0, d.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Solve(ctx, 0, d.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != want.Value || got.Cost != want.Cost {
+		t.Fatalf("patched tenant (value %d cost %d) vs direct registration (value %d cost %d)",
+			got.Value, got.Cost, want.Value, want.Cost)
+	}
+}
