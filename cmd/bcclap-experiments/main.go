@@ -19,7 +19,10 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"bcclap"
@@ -40,7 +43,7 @@ import (
 var flowBackend string
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e12, e15, e17, e19, e20, e21 or all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e12, e15, e17, e19, e20, e21, e22 or all)")
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	backend := flag.String("backend", "", "AᵀDA solve backend for the flow experiments: "+strings.Join(lp.Backends(), ", ")+" (default: auto — csr-pcg on sparse graphs, else dense)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (e.g. 10m; 0 = no limit)")
@@ -66,10 +69,10 @@ func run(ctx context.Context, exp string, quick bool) error {
 	all := map[string]func(context.Context, bool) error{
 		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6,
 		"e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11, "e12": e12,
-		"e15": e15, "e17": e17, "e19": e19, "e20": e20, "e21": e21,
+		"e15": e15, "e17": e17, "e19": e19, "e20": e20, "e21": e21, "e22": e22,
 	}
 	if exp == "all" {
-		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e15", "e17", "e19", "e20", "e21"} {
+		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e15", "e17", "e19", "e20", "e21", "e22"} {
 			if err := all[id](ctx, quick); err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}
@@ -831,5 +834,167 @@ func e21(ctx context.Context, quick bool) error {
 	fmt.Printf("| PatchArcs | %v | %v | %d |\n", patchWall.Round(time.Microsecond), res.Stats.WarmStarted, res.PathSteps)
 	fmt.Printf("| Swap | %v | — (cold) | — |\n", swapWall.Round(time.Microsecond))
 	fmt.Printf("\npatch speedup vs swap: %.1f×\n", float64(swapWall)/float64(patchWall))
+	return nil
+}
+
+// e22: per-tenant QoS and telemetry — a flooded, rate-limited tenant
+// next to a quiet one on the same service: the quiet tenant's latency
+// quantiles with and without the flood, the noisy tenant's goodput vs
+// rejection count, and the telemetry tax on the cached hot path (the
+// table EXPERIMENTS.md §e22 records; TestBenchQoSSnapshot gates it in
+// CI).
+func e22(ctx context.Context, quick bool) error {
+	header("e22", "QoS: admission gate isolates tenants; telemetry rides the hot path for free")
+	solves := 200
+	if quick {
+		solves = 60
+	}
+	dQuiet := graph.RandomFlowNetwork(6, 0.35, 3, 3, rand.New(rand.NewSource(29)))
+	dNoisy := graph.RandomFlowNetwork(4, 0.5, 3, 3, rand.New(rand.NewSource(30)))
+
+	svc := bcclap.NewService(bcclap.WithSeed(7), bcclap.WithPoolSize(2))
+	defer svc.Close()
+	quiet, err := svc.Register("quiet", dQuiet, bcclap.WithCacheSize(0))
+	if err != nil {
+		return err
+	}
+	noisy, err := svc.Register("noisy", dNoisy, bcclap.WithCacheSize(0))
+	if err != nil {
+		return err
+	}
+	// Warm both pools to steady state, then gate the noisy tenant the way
+	// an operator would: at runtime, through SetLimits.
+	for i := 0; i < 6; i++ {
+		if _, err := quiet.Solve(ctx, 0, dQuiet.N()-1); err != nil {
+			return err
+		}
+		if _, err := noisy.Solve(ctx, 0, dNoisy.N()-1); err != nil {
+			return err
+		}
+	}
+	limits := bcclap.Limits{RatePerSec: 5, Burst: 1, MaxInFlight: 1, QueueDepth: 2}
+	if err := noisy.SetLimits(limits); err != nil {
+		return err
+	}
+
+	quantile := func(ds []time.Duration, p float64) time.Duration {
+		s := append([]time.Duration(nil), ds...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return s[int(p*float64(len(s)-1))]
+	}
+	runQuiet := func() ([]time.Duration, error) {
+		lat := make([]time.Duration, solves)
+		for i := range lat {
+			start := time.Now()
+			if _, err := quiet.Solve(ctx, 0, dQuiet.N()-1); err != nil {
+				return nil, err
+			}
+			lat[i] = time.Since(start)
+		}
+		return lat, nil
+	}
+
+	base, err := runQuiet()
+	if err != nil {
+		return err
+	}
+	var completed, rejected atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var floodErr atomic.Value
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := noisy.Solve(ctx, 0, dNoisy.N()-1); err != nil {
+					if !errors.Is(err, bcclap.ErrOverloaded) {
+						floodErr.Store(err)
+						return
+					}
+					rejected.Add(1)
+					time.Sleep(2 * time.Millisecond)
+				} else {
+					completed.Add(1)
+				}
+			}
+		}()
+	}
+	// Wait for the flood to engage (first rejection) before measuring:
+	// on a single-P runtime the quiet loop's channel ping-pong with the
+	// pool workers can otherwise keep the flood goroutines parked.
+	for deadline := time.Now().Add(10 * time.Second); rejected.Load() == 0; {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("e22: flood produced no rejection within 10s")
+		}
+		if e := floodErr.Load(); e != nil {
+			return fmt.Errorf("e22: flood error: %v", e)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	floodStart := time.Now()
+	flood, err := runQuiet()
+	window := time.Since(floodStart)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	if e := floodErr.Load(); e != nil {
+		return e.(error)
+	}
+
+	fmt.Printf("noisy limits (SetLimits at runtime): %+v\n\n", limits)
+	fmt.Println("| quiet tenant | p50 | p99 |")
+	fmt.Println("|---|---|---|")
+	fmt.Printf("| unloaded | %v | %v |\n",
+		quantile(base, 0.5).Round(time.Microsecond), quantile(base, 0.99).Round(time.Microsecond))
+	fmt.Printf("| 8-goroutine flood on noisy | %v | %v |\n",
+		quantile(flood, 0.5).Round(time.Microsecond), quantile(flood, 0.99).Round(time.Microsecond))
+	ad := noisy.Stats().Admission
+	fmt.Printf("\nnoisy under flood: %d admitted solves (%.1f/s goodput), %d rejected (queue_full=%d deadline=%d), retry-after hint %v\n",
+		completed.Load(), float64(completed.Load())/window.Seconds(), rejected.Load(),
+		ad.RejectedQueueFull, ad.RejectedDeadline, noisy.RetryAfter().Round(time.Millisecond))
+
+	// Telemetry tax: pure cache hits, registry on vs off.
+	fmt.Println("\n| cached hot path | hits/s |")
+	fmt.Println("|---|---|")
+	for _, on := range []bool{true, false} {
+		s := bcclap.NewService(bcclap.WithSeed(7), bcclap.WithPoolSize(1), bcclap.WithTelemetry(on))
+		h, err := s.Register("bench", dQuiet)
+		if err != nil {
+			s.Close()
+			return err
+		}
+		if _, err := h.Solve(ctx, 0, dQuiet.N()-1); err != nil {
+			s.Close()
+			return err
+		}
+		const hits = 20000
+		best := time.Hour
+		for r := 0; r < 5; r++ {
+			start := time.Now()
+			for i := 0; i < hits; i++ {
+				if _, err := h.Solve(ctx, 0, dQuiet.N()-1); err != nil {
+					s.Close()
+					return err
+				}
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		label := "telemetry on"
+		if !on {
+			label = "telemetry off"
+		}
+		fmt.Printf("| %s | %.0f |\n", label, float64(hits)/best.Seconds())
+		s.Close()
+	}
 	return nil
 }

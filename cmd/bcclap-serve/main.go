@@ -17,10 +17,23 @@
 //	DELETE /v1/networks/{name}            drain and deregister
 //	POST   /v1/networks/{name}/flow       {"s": 0, "t": 5, "include_flows": true}
 //	POST   /v1/networks/{name}/flow/batch {"queries": [{"s": 0, "t": 5}, ...]}
+//	PATCH  /v1/networks/{name}/limits     change a tenant's QoS limits at runtime
 //	POST   /v1/flow                       legacy: routes to the "default" tenant
 //	POST   /v1/flow/batch                 legacy: routes to the "default" tenant
 //	GET    /v1/stats                      service-wide counters
-//	GET    /healthz                       liveness probe
+//	GET    /metrics                       Prometheus text exposition (disable with -metrics=false)
+//	GET    /healthz                       readiness probe: 200 only once store replay
+//	                                      finished and while not draining, else 503
+//
+// Per-tenant QoS: -rate-limit/-burst/-max-in-flight/-queue-depth set
+// daemon-wide admission defaults, and a PUT spec or a PATCH .../limits
+// body overrides them per tenant. A tenant at its limits queues up to the
+// admission-queue bound and then rejects with 429; the Retry-After header
+// on those responses is computed from the tenant's queue depth and recent
+// mean solve latency rather than a constant. Every request is tagged with
+// an X-Trace-Id (minted unless the client sent one), echoed in the
+// response headers, the structured request log and error bodies, and
+// threaded into each solve's Stats.
 //
 // With -data-dir the daemon is durable: tenant lifecycle mutations
 // (register, swap, arc patches, deregister) are journaled to a
@@ -71,6 +84,7 @@ import (
 
 	"bcclap"
 	"bcclap/internal/graph"
+	"bcclap/internal/telemetry"
 )
 
 func main() {
@@ -87,6 +101,11 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable tenant store directory (empty = memory-only); a restarted daemon replays it")
 	fsync := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always or never")
 	snapEvery := flag.Int("snapshot-every", 0, "WAL records between compacted snapshots (0 = store default, negative disables)")
+	metrics := flag.Bool("metrics", true, "serve Prometheus metrics at GET /metrics")
+	rateLimit := flag.Float64("rate-limit", 0, "default per-tenant admission rate in queries/sec (0 = unlimited)")
+	burst := flag.Int("burst", 0, "default token-bucket burst with -rate-limit (0 = ceil of the rate)")
+	maxInFlight := flag.Int("max-in-flight", 0, "default per-tenant cap on concurrently admitted requests (0 = unlimited)")
+	queueDepth := flag.Int("queue-depth", -1, "default admission queue bound once limits are active (-1 = built-in default, 0 = reject instead of queue)")
 	flag.Parse()
 
 	if err := run(serveConfig{
@@ -94,6 +113,8 @@ func main() {
 		backend: *backend, poolSize: *poolSize, shards: *shards, cacheSize: *cacheSize,
 		timeout: *timeout, drainTimeout: *drainTimeout,
 		dataDir: *dataDir, fsync: *fsync, snapEvery: *snapEvery,
+		metrics: *metrics, rateLimit: *rateLimit, burst: *burst,
+		maxInFlight: *maxInFlight, queueDepth: *queueDepth,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bcclap-serve:", err)
 		os.Exit(1)
@@ -115,6 +136,11 @@ type serveConfig struct {
 	dataDir      string
 	fsync        string
 	snapEvery    int
+	metrics      bool
+	rateLimit    float64
+	burst        int
+	maxInFlight  int
+	queueDepth   int
 }
 
 // defaultTenant is the name the legacy -network/-random flags and
@@ -130,9 +156,19 @@ func run(cfg serveConfig) error {
 		bcclap.WithBackend(cfg.backend),
 		bcclap.WithPoolSize(cfg.poolSize),
 		bcclap.WithCacheSize(cfg.cacheSize),
+		bcclap.WithTelemetry(cfg.metrics),
 	}
 	if cfg.shards > 0 {
 		opts = append(opts, bcclap.WithShards(cfg.shards))
+	}
+	if cfg.rateLimit > 0 {
+		opts = append(opts, bcclap.WithRateLimit(cfg.rateLimit, cfg.burst))
+	}
+	if cfg.maxInFlight > 0 {
+		opts = append(opts, bcclap.WithMaxInFlight(cfg.maxInFlight))
+	}
+	if cfg.queueDepth >= 0 {
+		opts = append(opts, bcclap.WithQueueDepth(cfg.queueDepth))
 	}
 	if cfg.dataDir != "" {
 		switch cfg.fsync {
@@ -145,8 +181,25 @@ func run(cfg serveConfig) error {
 		}
 		opts = append(opts, bcclap.WithStore(cfg.dataDir), bcclap.WithSnapshotEvery(cfg.snapEvery))
 	}
+
+	// The listener comes up before the (potentially long) store replay so
+	// orchestrators see the port and /healthz answers immediately — 503
+	// with {"status":"starting"} until the service attaches, 200 after.
+	s := newServer(nil, cfg.timeout, cfg.drainTimeout, cfg.seed)
+	s.metricsOn = cfg.metrics
+	srv := &http.Server{Addr: cfg.addr, Handler: s.routes()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("bcclap-serve: listening on %s (pool=%d cache=%d)",
+			cfg.addr, cfg.poolSize, cfg.cacheSize)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
 	svc, err := bcclap.OpenService(opts...)
 	if err != nil {
+		srv.Close()
 		return err
 	}
 	if replayed := svc.Names(); len(replayed) > 0 {
@@ -156,6 +209,8 @@ func run(cfg serveConfig) error {
 	if cfg.networkFile != "" || cfg.randomN > 0 {
 		d, err := loadNetwork(cfg.networkFile, cfg.randomN, cfg.seed)
 		if err != nil {
+			srv.Close()
+			svc.Close()
 			return err
 		}
 		h, err := svc.Register(defaultTenant, d)
@@ -165,23 +220,16 @@ func run(cfg serveConfig) error {
 			// state (version, patches) wins over the startup flags.
 			log.Printf("bcclap-serve: %q already recovered from the store; keeping it", defaultTenant)
 		case err != nil:
+			srv.Close()
+			svc.Close()
 			return err
 		default:
 			log.Printf("bcclap-serve: registered %q (n=%d m=%d backend=%s pool=%d)",
 				defaultTenant, d.N(), d.M(), h.Backend(), cfg.poolSize)
 		}
 	}
-	s := newServer(svc, cfg.timeout, cfg.drainTimeout, cfg.seed)
-
-	srv := &http.Server{Addr: cfg.addr, Handler: s.routes()}
-	errCh := make(chan error, 1)
-	go func() {
-		log.Printf("bcclap-serve: listening on %s (tenants=%d pool=%d cache=%d)",
-			cfg.addr, len(svc.Names()), cfg.poolSize, cfg.cacheSize)
-		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			errCh <- err
-		}
-	}()
+	s.attach(svc)
+	log.Printf("bcclap-serve: ready (tenants=%d)", len(svc.Names()))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -191,6 +239,7 @@ func run(cfg serveConfig) error {
 		return err
 	case <-ctx.Done():
 	}
+	s.draining.Store(true) // /healthz flips to 503 for the whole drain
 	log.Printf("bcclap-serve: draining %d tenants (budget %v)", len(svc.Names()), cfg.drainTimeout)
 	shCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
@@ -236,13 +285,22 @@ func readNetwork(f *os.File) (*graph.Digraph, error) {
 }
 
 // server carries the daemon state shared by all request goroutines: the
-// multi-tenant service (concurrency-safe) and HTTP-level counters.
+// multi-tenant service (concurrency-safe, attached once replay finishes)
+// and the HTTP-level counters and metrics.
 type server struct {
-	svc         *bcclap.Service
+	svc         atomic.Pointer[bcclap.Service] // nil until attach: still replaying
+	draining    atomic.Bool
 	timeout     time.Duration
 	retryAfter  string // Retry-After seconds advertised on 503
 	defaultSeed int64  // -seed: instance generation for "random_n" specs
 	started     time.Time
+	metricsOn   bool
+
+	// httpReg holds the daemon-owned HTTP families, separate from the
+	// service registry so both can be concatenated at /metrics.
+	httpReg  *telemetry.Registry
+	httpReqs *telemetry.CounterVec   // {method, route, code}
+	httpDur  *telemetry.HistogramVec // {route}
 
 	requests atomic.Int64 // HTTP requests accepted
 	solved   atomic.Int64 // queries answered with a certified flow
@@ -254,19 +312,40 @@ func newServer(svc *bcclap.Service, timeout, drainTimeout time.Duration, default
 	if retry < 1 {
 		retry = 1
 	}
-	return &server{
-		svc:         svc,
+	s := &server{
 		timeout:     timeout,
 		retryAfter:  strconv.Itoa(retry),
 		defaultSeed: defaultSeed,
 		started:     time.Now(),
+		metricsOn:   true,
+		httpReg:     telemetry.NewRegistry(),
 	}
+	s.httpReqs = s.httpReg.CounterVec("bcclap_http_requests_total",
+		"HTTP requests by method, matched route and response code.",
+		"method", "route", "code")
+	s.httpDur = s.httpReg.HistogramVec("bcclap_http_request_duration_seconds",
+		"End-to-end HTTP request duration by matched route.",
+		nil, "route")
+	if svc != nil {
+		s.attach(svc)
+	}
+	return s
 }
+
+// attach publishes the service and flips the daemon ready: until this,
+// every route except /healthz and /metrics answers 503.
+func (s *server) attach(svc *bcclap.Service) { s.svc.Store(svc) }
+
+// service returns the attached service, or nil while the store replay is
+// still running (the readiness middleware keeps handlers from seeing
+// that state).
+func (s *server) service() *bcclap.Service { return s.svc.Load() }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /v1/networks/{name}", s.handlePutNetwork)
 	mux.HandleFunc("PATCH /v1/networks/{name}/arcs", s.handlePatchArcs)
+	mux.HandleFunc("PATCH /v1/networks/{name}/limits", s.handlePatchLimits)
 	mux.HandleFunc("GET /v1/networks", s.handleListNetworks)
 	mux.HandleFunc("GET /v1/networks/{name}", s.handleNetworkStats)
 	mux.HandleFunc("GET /v1/networks/{name}/stats", s.handleNetworkStats)
@@ -278,8 +357,71 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/flow", s.handleFlow)
 	mux.HandleFunc("POST /v1/flow/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	if s.metricsOn {
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	return s.middleware(mux)
+}
+
+// statusWriter captures the response code for the request log and the
+// HTTP metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// middleware wraps the mux with the daemon's cross-cutting concerns:
+// readiness gating, per-request trace IDs, the structured request log
+// and the HTTP metric families.
+func (s *server) middleware(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace := r.Header.Get("X-Trace-Id")
+		if trace == "" {
+			trace = telemetry.NewTraceID()
+		}
+		w.Header().Set("X-Trace-Id", trace)
+		r = r.WithContext(telemetry.WithTraceID(r.Context(), trace))
+
+		// Readiness gate: while the store replay runs the service pointer
+		// is nil, and during drain new work is pointless — both answer 503
+		// so load balancers back off. /healthz reports the state itself
+		// and /metrics stays scrapeable throughout.
+		if path := r.URL.Path; path != "/healthz" && path != "/metrics" {
+			if s.service() == nil || s.draining.Load() {
+				w.Header().Set("Retry-After", s.retryAfter)
+				writeJSON(w, http.StatusServiceUnavailable,
+					errorResponse{Error: "service not ready", Trace: trace})
+				return
+			}
+		}
+
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		mux.ServeHTTP(sw, r)
+		dur := time.Since(start)
+		// r.Pattern was filled in by the mux match ("" on 404s).
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		s.httpReqs.With(r.Method, route, strconv.Itoa(sw.status)).Inc()
+		s.httpDur.With(route).Observe(dur.Seconds())
+		logLine, _ := json.Marshal(map[string]any{
+			"trace":       trace,
+			"method":      r.Method,
+			"path":        r.URL.Path,
+			"route":       route,
+			"status":      sw.status,
+			"duration_ms": float64(dur.Microseconds()) / 1000,
+		})
+		log.Printf("bcclap-serve: request %s", logLine)
+	})
 }
 
 // tenant resolves the request's target handle: the {name} path segment on
@@ -289,7 +431,7 @@ func (s *server) tenant(r *http.Request) (*bcclap.NetworkHandle, error) {
 	if name == "" {
 		name = defaultTenant
 	}
-	return s.svc.Get(name)
+	return s.service().Get(name)
 }
 
 // networkSpec is the PUT /v1/networks/{name} body: the network itself —
@@ -309,6 +451,12 @@ type networkSpec struct {
 	Pool      *int    `json:"pool,omitempty"`
 	Shards    *int    `json:"shards,omitempty"`
 	CacheSize *int    `json:"cache_size,omitempty"`
+	// QoS overrides, option-surface conventions: rate 0 = unlimited,
+	// queue_depth 0 = reject instead of queue.
+	RatePerSec  *float64 `json:"rate_per_sec,omitempty"`
+	Burst       *int     `json:"burst,omitempty"`
+	MaxInFlight *int     `json:"max_in_flight,omitempty"`
+	QueueDepth  *int     `json:"queue_depth,omitempty"`
 }
 
 // digraph materializes the spec's network. Random instances without an
@@ -355,33 +503,48 @@ func (spec *networkSpec) options() []bcclap.Option {
 	if spec.CacheSize != nil {
 		opts = append(opts, bcclap.WithCacheSize(*spec.CacheSize))
 	}
+	if spec.RatePerSec != nil {
+		b := 0
+		if spec.Burst != nil {
+			b = *spec.Burst
+		}
+		opts = append(opts, bcclap.WithRateLimit(*spec.RatePerSec, b))
+	}
+	if spec.MaxInFlight != nil {
+		opts = append(opts, bcclap.WithMaxInFlight(*spec.MaxInFlight))
+	}
+	if spec.QueueDepth != nil {
+		opts = append(opts, bcclap.WithQueueDepth(*spec.QueueDepth))
+	}
 	return opts
 }
 
 // networkResponse summarizes one tenant for the lifecycle endpoints.
 type networkResponse struct {
-	Name     string            `json:"name"`
-	Version  uint64            `json:"version"`
-	Patches  uint64            `json:"patches"`
-	N        int               `json:"n"`
-	M        int               `json:"m"`
-	Backend  string            `json:"backend"`
-	PoolSize int               `json:"pool_size"`
-	Cache    bcclap.CacheStats `json:"cache"`
-	Pool     bcclap.PoolStats  `json:"pool"`
+	Name      string                `json:"name"`
+	Version   uint64                `json:"version"`
+	Patches   uint64                `json:"patches"`
+	N         int                   `json:"n"`
+	M         int                   `json:"m"`
+	Backend   string                `json:"backend"`
+	PoolSize  int                   `json:"pool_size"`
+	Cache     bcclap.CacheStats     `json:"cache"`
+	Pool      bcclap.PoolStats      `json:"pool"`
+	Admission bcclap.AdmissionStats `json:"admission"`
 }
 
 func toNetworkResponse(ns bcclap.NetworkStats) networkResponse {
 	return networkResponse{
-		Name:     ns.Name,
-		Version:  ns.Version,
-		Patches:  ns.Patches,
-		N:        ns.Vertices,
-		M:        ns.Arcs,
-		Backend:  ns.Backend,
-		PoolSize: ns.PoolSize,
-		Cache:    ns.Cache,
-		Pool:     ns.Pool,
+		Name:      ns.Name,
+		Version:   ns.Version,
+		Patches:   ns.Patches,
+		N:         ns.Vertices,
+		M:         ns.Arcs,
+		Backend:   ns.Backend,
+		PoolSize:  ns.PoolSize,
+		Cache:     ns.Cache,
+		Pool:      ns.Pool,
+		Admission: ns.Admission,
 	}
 }
 
@@ -393,24 +556,24 @@ func (s *server) handlePutNetwork(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var spec networkSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		s.writeError(w, fmt.Errorf("%w: bad request body: %v", bcclap.ErrBadSpec, err))
+		s.writeError(w, r, fmt.Errorf("%w: bad request body: %v", bcclap.ErrBadSpec, err))
 		return
 	}
 	d, err := spec.digraph(s.defaultSeed)
 	if err != nil {
-		s.writeError(w, fmt.Errorf("%w: %v", bcclap.ErrBadSpec, err))
+		s.writeError(w, r, fmt.Errorf("%w: %v", bcclap.ErrBadSpec, err))
 		return
 	}
 	status := http.StatusCreated
-	h, err := s.svc.Register(name, d, spec.options()...)
+	h, err := s.service().Register(name, d, spec.options()...)
 	if errors.Is(err, bcclap.ErrNetworkExists) {
 		status = http.StatusOK
-		if h, err = s.svc.Get(name); err == nil {
+		if h, err = s.service().Get(name); err == nil {
 			err = h.Swap(d, spec.options()...)
 		}
 	}
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	writeJSON(w, status, toNetworkResponse(h.Stats()))
@@ -437,12 +600,12 @@ func (s *server) handlePatchArcs(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	h, err := s.tenant(r)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	var spec patchSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		s.writeError(w, fmt.Errorf("%w: bad request body: %v", bcclap.ErrBadSpec, err))
+		s.writeError(w, r, fmt.Errorf("%w: bad request body: %v", bcclap.ErrBadSpec, err))
 		return
 	}
 	deltas := make([]bcclap.ArcDelta, len(spec.Deltas))
@@ -450,7 +613,56 @@ func (s *server) handlePatchArcs(w http.ResponseWriter, r *http.Request) {
 		deltas[i] = bcclap.ArcDelta{Arc: dl.Arc, CapDelta: dl.CapDelta, CostDelta: dl.CostDelta}
 	}
 	if err := h.PatchArcs(deltas); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toNetworkResponse(h.Stats()))
+}
+
+// limitsSpec is the PATCH /v1/networks/{name}/limits body. Every field
+// is optional: absent fields keep their current value, so a body like
+// {"rate_per_sec": 50} only changes the rate. Fields mirror
+// bcclap.Limits (gate conventions: queue_depth 0 = built-in default,
+// negative = reject instead of queue).
+type limitsSpec struct {
+	RatePerSec  *float64 `json:"rate_per_sec,omitempty"`
+	Burst       *int     `json:"burst,omitempty"`
+	MaxInFlight *int     `json:"max_in_flight,omitempty"`
+	QueueDepth  *int     `json:"queue_depth,omitempty"`
+}
+
+// handlePatchLimits changes a tenant's QoS limits at runtime. The merge
+// is read-modify-write against the current limits; the result is
+// journaled on a durable daemon (limits survive restarts) and applies to
+// subsequent admissions immediately. Responds with the updated tenant
+// stats; invalid limits get 400 with the ErrBadLimits sentinel.
+func (s *server) handlePatchLimits(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	h, err := s.tenant(r)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	var spec limitsSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		s.writeError(w, r, fmt.Errorf("%w: bad request body: %v", bcclap.ErrBadSpec, err))
+		return
+	}
+	l := h.Limits()
+	if spec.RatePerSec != nil {
+		l.RatePerSec = *spec.RatePerSec
+	}
+	if spec.Burst != nil {
+		l.Burst = *spec.Burst
+	}
+	if spec.MaxInFlight != nil {
+		l.MaxInFlight = *spec.MaxInFlight
+	}
+	if spec.QueueDepth != nil {
+		l.QueueDepth = *spec.QueueDepth
+	}
+	if err := h.SetLimits(l); err != nil {
+		s.writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toNetworkResponse(h.Stats()))
@@ -458,7 +670,7 @@ func (s *server) handlePatchArcs(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleListNetworks(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	st := s.svc.ServiceStats()
+	st := s.service().ServiceStats()
 	nets := make([]networkResponse, len(st.PerNetwork))
 	for i, ns := range st.PerNetwork {
 		nets[i] = toNetworkResponse(ns)
@@ -470,7 +682,7 @@ func (s *server) handleNetworkStats(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	h, err := s.tenant(r)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toNetworkResponse(h.Stats()))
@@ -478,8 +690,8 @@ func (s *server) handleNetworkStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleDeleteNetwork(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	if err := s.svc.Deregister(r.PathValue("name")); err != nil {
-		s.writeError(w, err)
+	if err := s.service().Deregister(r.PathValue("name")); err != nil {
+		s.writeError(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -508,11 +720,13 @@ type flowResponse struct {
 	WarmStarted bool    `json:"warm_started"`
 	Reused      bool    `json:"reused_preprocessing"`
 	WallMS      float64 `json:"wall_ms"`
+	Trace       string  `json:"trace,omitempty"`
 	Flows       []int64 `json:"flows,omitempty"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
+	Trace string `json:"trace,omitempty"`
 }
 
 func (s *server) solveCtx(r *http.Request) (context.Context, context.CancelFunc) {
@@ -526,12 +740,13 @@ func (s *server) handleFlow(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	h, err := s.tenant(r)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	var req flowRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: "bad request body: " + err.Error(), Trace: telemetry.TraceID(r.Context())})
 		return
 	}
 	ctx, cancel := s.solveCtx(r)
@@ -539,7 +754,7 @@ func (s *server) handleFlow(w http.ResponseWriter, r *http.Request) {
 	res, err := h.Solve(ctx, req.S, req.T)
 	if err != nil {
 		s.failed.Add(1)
-		s.writeError(w, err)
+		s.writeErrorFor(w, r, err, h)
 		return
 	}
 	s.solved.Add(1)
@@ -550,16 +765,18 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	h, err := s.tenant(r)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: "bad request body: " + err.Error(), Trace: telemetry.TraceID(r.Context())})
 		return
 	}
 	if len(req.Queries) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch"})
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: "empty batch", Trace: telemetry.TraceID(r.Context())})
 		return
 	}
 	queries := make([]bcclap.FlowQuery, len(req.Queries))
@@ -571,7 +788,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	results, err := h.SolveBatch(ctx, queries)
 	if err != nil {
 		s.failed.Add(int64(len(queries)))
-		s.writeError(w, err)
+		s.writeErrorFor(w, r, err, h)
 		return
 	}
 	s.solved.Add(int64(len(results)))
@@ -595,6 +812,7 @@ func response(req flowRequest, res *bcclap.FlowResult) flowResponse {
 		WarmStarted: res.Stats.WarmStarted,
 		Reused:      res.Stats.ReusedPreprocessing,
 		WallMS:      float64(res.Stats.WallTime.Microseconds()) / 1000,
+		Trace:       res.Stats.TraceID,
 	}
 	if req.IncludeFlows {
 		resp.Flows = res.Flows
@@ -604,7 +822,7 @@ func response(req flowRequest, res *bcclap.FlowResult) flowResponse {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	st := s.svc.ServiceStats()
+	st := s.service().ServiceStats()
 	nets := make([]networkResponse, len(st.PerNetwork))
 	for i, ns := range st.PerNetwork {
 		nets[i] = toNetworkResponse(ns)
@@ -629,24 +847,66 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
+// handleMetrics serves the Prometheus text exposition: the service
+// registry (solve latency plus every family synthesized from the
+// service-stats snapshot) followed by the daemon's own HTTP families.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if svc := s.service(); svc != nil {
+		if err := svc.WriteMetrics(w); err != nil {
+			log.Printf("bcclap-serve: write metrics: %v", err)
+			return
+		}
+	}
+	if err := s.httpReg.WritePrometheus(w); err != nil {
+		log.Printf("bcclap-serve: write metrics: %v", err)
+	}
+}
+
+// handleHealthz is the readiness probe: 200 only when the store replay
+// has completed and the daemon is not draining — exactly the window in
+// which a request would be served rather than 503'd.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	switch {
+	case s.draining.Load():
+		w.Header().Set("Retry-After", s.retryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.service() == nil:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}
 }
 
 // writeError maps a session/service error onto its HTTP status. A 503
 // (shutdown in progress) additionally advertises Retry-After sized to the
 // drain budget, so load balancers back off instead of hammering a
-// draining instance; a 429 (tenant mutation in flight) advertises a short
-// Retry-After — mutations are sub-second, the client should just retry.
-func (s *server) writeError(w http.ResponseWriter, err error) {
+// draining instance; 429s advertise a Retry-After hint (see
+// writeErrorFor for the computed per-tenant variant).
+func (s *server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	s.writeErrorFor(w, r, err, nil)
+}
+
+// writeErrorFor is writeError with tenant context: a 429 caused by the
+// tenant's admission gate advertises a Retry-After computed from its
+// queue depth and recent mean solve latency (⌈estimate⌉ seconds, floor
+// 1) instead of a constant.
+func (s *server) writeErrorFor(w http.ResponseWriter, r *http.Request, err error, h *bcclap.NetworkHandle) {
 	status := statusOf(err)
 	switch status {
 	case http.StatusServiceUnavailable:
 		w.Header().Set("Retry-After", s.retryAfter)
 	case http.StatusTooManyRequests:
-		w.Header().Set("Retry-After", "1")
+		retry := "1"
+		if h != nil {
+			if d := h.RetryAfter(); d > 0 {
+				retry = strconv.Itoa(int(math.Ceil(d.Seconds())))
+			}
+		}
+		w.Header().Set("Retry-After", retry)
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, status, errorResponse{Error: err.Error(), Trace: telemetry.TraceID(r.Context())})
 }
 
 // statusOf maps the session API's sentinel errors onto HTTP statuses.
@@ -654,13 +914,18 @@ func statusOf(err error) int {
 	switch {
 	case errors.Is(err, bcclap.ErrBadQuery),
 		errors.Is(err, bcclap.ErrBadSpec),
+		errors.Is(err, bcclap.ErrBadLimits),
 		errors.Is(err, bcclap.ErrBadPatch):
 		return http.StatusBadRequest
 	case errors.Is(err, bcclap.ErrNetworkUnknown):
 		return http.StatusNotFound
 	case errors.Is(err, bcclap.ErrNetworkExists):
 		return http.StatusConflict
-	case errors.Is(err, bcclap.ErrNetworkBusy):
+	// ErrOverloaded outranks the context sentinels: a deadline noticed
+	// while queued for admission wraps both, and the useful signal for
+	// the client is "back off", not "gateway timeout".
+	case errors.Is(err, bcclap.ErrOverloaded),
+		errors.Is(err, bcclap.ErrNetworkBusy):
 		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout

@@ -435,7 +435,7 @@ func TestServeShutdownRetryAfter(t *testing.T) {
 	ts := httptest.NewServer(s.routes())
 	defer ts.Close()
 
-	if err := s.svc.Drain(context.Background()); err != nil {
+	if err := s.service().Drain(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	body, _ := json.Marshal(map[string]any{"s": 0, "t": d.N() - 1})

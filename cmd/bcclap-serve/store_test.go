@@ -116,7 +116,8 @@ func TestServeMalformedBodies(t *testing.T) {
 func TestServeBusyRetryAfter(t *testing.T) {
 	s, _ := newTestServer(t)
 	rec := httptest.NewRecorder()
-	s.writeError(rec, fmt.Errorf("wrap: %w", bcclap.ErrNetworkBusy))
+	s.writeError(rec, httptest.NewRequest(http.MethodPost, "/v1/flow", nil),
+		fmt.Errorf("wrap: %w", bcclap.ErrNetworkBusy))
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("busy error: status %d, want 429", rec.Code)
 	}

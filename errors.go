@@ -3,6 +3,7 @@ package bcclap
 import (
 	"errors"
 
+	"bcclap/internal/admission"
 	"bcclap/internal/flow"
 	"bcclap/internal/graph"
 	"bcclap/internal/lapsolver"
@@ -64,4 +65,18 @@ var (
 	// request body or an arc list the digraph constructor rejects. Raised
 	// by the REST layer's PUT/PATCH decoding, before any solver work.
 	ErrBadSpec = errors.New("bcclap: malformed network spec")
+
+	// ErrOverloaded marks a query rejected by a network's admission gate:
+	// the bounded admission queue was full, or the request's deadline
+	// would have expired before a slot or rate token freed up. The REST
+	// layer maps it to 429 with a computed Retry-After. A rejection that
+	// noticed the deadline while queued also matches
+	// context.DeadlineExceeded.
+	ErrOverloaded = admission.ErrOverloaded
+
+	// ErrBadLimits marks invalid QoS limits: a negative rate, burst,
+	// in-flight cap, or a non-finite rate. Raised by Register/Swap option
+	// validation and NetworkHandle.SetLimits, before anything is
+	// journaled.
+	ErrBadLimits = admission.ErrBadLimits
 )

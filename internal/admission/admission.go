@@ -1,0 +1,473 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is returned by Admit when a request cannot be accepted:
+// the admission queue is full, or the request's context deadline would
+// expire (or did expire) before the gate could admit it. Callers map it
+// to 429 Too Many Requests with a Retry-After computed from
+// Gate.RetryAfter.
+var ErrOverloaded = errors.New("tenant overloaded")
+
+// ErrBadLimits is returned when a Limits value is invalid (negative
+// rate, or burst/in-flight/queue fields below their minimum).
+var ErrBadLimits = errors.New("invalid admission limits")
+
+// DefaultQueueDepth is the admission queue bound used when limits are
+// active but QueueDepth is zero.
+const DefaultQueueDepth = 16
+
+// Limits configures a tenant's QoS gate. The zero value means
+// unlimited: no rate limit, no in-flight cap, and (vacuously) no queue.
+type Limits struct {
+	// RatePerSec is the sustained admission rate in queries per second.
+	// 0 means no rate limit.
+	RatePerSec float64
+	// Burst is the token-bucket depth: how many queries may be admitted
+	// back-to-back after an idle period. 0 means max(1, ⌈RatePerSec⌉).
+	// Ignored when RatePerSec is 0.
+	Burst int
+	// MaxInFlight caps concurrently admitted requests (a SolveBatch
+	// counts as one request; its internal concurrency is already
+	// bounded by the tenant's pool size). 0 means no cap.
+	MaxInFlight int
+	// QueueDepth bounds how many requests may wait for admission when
+	// the tenant is at its rate or in-flight limit. 0 means
+	// DefaultQueueDepth; negative disables queueing (saturated
+	// requests are rejected immediately).
+	QueueDepth int
+}
+
+// Validate reports whether l is a well-formed limit set.
+func (l Limits) Validate() error {
+	if l.RatePerSec < 0 || math.IsNaN(l.RatePerSec) || math.IsInf(l.RatePerSec, 0) {
+		return fmt.Errorf("%w: rate %v", ErrBadLimits, l.RatePerSec)
+	}
+	if l.Burst < 0 {
+		return fmt.Errorf("%w: burst %d", ErrBadLimits, l.Burst)
+	}
+	if l.MaxInFlight < 0 {
+		return fmt.Errorf("%w: max in-flight %d", ErrBadLimits, l.MaxInFlight)
+	}
+	return nil
+}
+
+// active reports whether any limit is configured. An inactive gate
+// serves the lock-free fast path.
+func (l Limits) active() bool {
+	return l.RatePerSec > 0 || l.MaxInFlight > 0
+}
+
+// burst returns the effective token-bucket depth.
+func (l Limits) burst() int {
+	if l.Burst > 0 {
+		return l.Burst
+	}
+	return int(math.Max(1, math.Ceil(l.RatePerSec)))
+}
+
+// queueDepth returns the effective admission queue bound.
+func (l Limits) queueDepth() int {
+	switch {
+	case l.QueueDepth > 0:
+		return l.QueueDepth
+	case l.QueueDepth < 0:
+		return 0
+	}
+	return DefaultQueueDepth
+}
+
+// Stats is a point-in-time snapshot of a gate's accounting.
+type Stats struct {
+	// Limits is the currently configured limit set.
+	Limits Limits
+	// Admitted counts queries admitted since the gate was created
+	// (a batch of k counts k).
+	Admitted int64
+	// Queued counts requests that had to wait in the admission queue.
+	Queued int64
+	// RejectedQueueFull counts requests rejected because the queue was
+	// at QueueDepth.
+	RejectedQueueFull int64
+	// RejectedDeadline counts requests rejected because their context
+	// deadline would have expired (or expired) while queued.
+	RejectedDeadline int64
+	// Canceled counts requests whose context was canceled while queued.
+	Canceled int64
+	// InFlight is the number of currently admitted, unreleased requests.
+	InFlight int
+	// QueueDepth is the number of requests currently waiting.
+	QueueDepth int
+	// QueueWait is the cumulative time requests have spent waiting in
+	// the admission queue.
+	QueueWait time.Duration
+	// MeanServiceTime is the exponentially weighted mean of recent
+	// per-query service times recorded via RecordServiceTime.
+	MeanServiceTime time.Duration
+}
+
+// A Gate is one tenant's admission controller. The zero value is not
+// usable; call NewGate.
+type Gate struct {
+	// limited mirrors lim.active() for the lock-free fast path.
+	limited atomic.Bool
+	// inFast counts in-flight requests admitted on the fast path.
+	inFast atomic.Int64
+
+	mu       sync.Mutex
+	lim      Limits
+	tokens   float64 // may go negative when a batch borrows beyond burst
+	last     time.Time
+	inFlight int
+	waiters  []*waiter
+	timer    *time.Timer
+
+	relFast, relSlow func()
+
+	meanNS      atomic.Int64
+	admitted    atomic.Int64
+	queued      atomic.Int64
+	rejFull     atomic.Int64
+	rejDeadline atomic.Int64
+	canceled    atomic.Int64
+	queueWaitNS atomic.Int64
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	n        int // tokens wanted
+	ready    chan struct{}
+	admitted bool
+}
+
+// NewGate returns a gate enforcing l. An all-zero l is valid and means
+// unlimited.
+func NewGate(l Limits) (*Gate, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Gate{lim: l}
+	g.relFast = func() {
+		g.inFast.Add(-1)
+		if g.limited.Load() {
+			g.mu.Lock()
+			g.wakeLocked(time.Now())
+			g.mu.Unlock()
+		}
+	}
+	g.relSlow = func() {
+		g.mu.Lock()
+		g.inFlight--
+		g.wakeLocked(time.Now())
+		g.mu.Unlock()
+	}
+	if l.active() {
+		g.tokens = float64(l.burst())
+		g.last = time.Now()
+		g.limited.Store(true)
+	}
+	return g, nil
+}
+
+// Admit asks the gate to admit one query. It returns a release function
+// that must be called exactly once, when the query's solve completes
+// (success or failure). It blocks while the request is queued; it
+// returns ErrOverloaded (possibly wrapping ctx.Err) on rejection, or
+// ctx.Err if ctx was canceled while queued.
+func (g *Gate) Admit(ctx context.Context) (release func(), err error) {
+	return g.AdmitN(ctx, 1)
+}
+
+// AdmitN admits a batch of n queries as a single request: it consumes n
+// rate tokens but one in-flight slot (the batch's internal concurrency
+// is bounded elsewhere, by the tenant's worker pool).
+func (g *Gate) AdmitN(ctx context.Context, n int) (release func(), err error) {
+	if n < 1 {
+		n = 1
+	}
+	if !g.limited.Load() {
+		g.inFast.Add(1)
+		g.admitted.Add(int64(n))
+		return g.relFast, nil
+	}
+
+	now := time.Now()
+	g.mu.Lock()
+	if !g.lim.active() {
+		// Raced with SetLimits loosening to unlimited.
+		g.inFlight++
+		g.admitted.Add(int64(n))
+		g.mu.Unlock()
+		return g.relSlow, nil
+	}
+	g.refillLocked(now)
+	if len(g.waiters) == 0 && g.tryTakeLocked(n) {
+		g.admitted.Add(int64(n))
+		g.mu.Unlock()
+		return g.relSlow, nil
+	}
+	if qd := g.lim.queueDepth(); len(g.waiters) >= qd {
+		g.rejFull.Add(1)
+		g.mu.Unlock()
+		return nil, fmt.Errorf("%w: admission queue full (%d waiting)", ErrOverloaded, qd)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if est := g.estimateLocked(len(g.waiters), n); est > 0 && now.Add(est).After(dl) {
+			g.rejDeadline.Add(1)
+			g.mu.Unlock()
+			return nil, fmt.Errorf("%w: deadline in %s but estimated admission wait is %s",
+				ErrOverloaded, time.Until(dl).Round(time.Millisecond), est.Round(time.Millisecond))
+		}
+	}
+	w := &waiter{n: n, ready: make(chan struct{})}
+	g.waiters = append(g.waiters, w)
+	g.queued.Add(1)
+	g.armTimerLocked()
+	g.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		g.queueWaitNS.Add(int64(time.Since(now)))
+		g.admitted.Add(int64(n))
+		return g.relSlow, nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		if w.admitted {
+			// Lost the race: wakeLocked admitted us before the cancel
+			// was observed. Give the slot back and report the cancel.
+			g.inFlight--
+			g.wakeLocked(time.Now())
+		} else {
+			g.removeWaiterLocked(w)
+		}
+		g.mu.Unlock()
+		g.queueWaitNS.Add(int64(time.Since(now)))
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			g.rejDeadline.Add(1)
+			return nil, fmt.Errorf("%w: %w while queued for admission", ErrOverloaded, ctx.Err())
+		}
+		g.canceled.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// refillLocked credits tokens for the time elapsed since the last
+// refill, capping at the burst depth.
+func (g *Gate) refillLocked(now time.Time) {
+	if g.lim.RatePerSec <= 0 {
+		return
+	}
+	if dt := now.Sub(g.last); dt > 0 {
+		g.tokens = math.Min(g.tokens+dt.Seconds()*g.lim.RatePerSec, float64(g.lim.burst()))
+	}
+	g.last = now
+}
+
+// tryTakeLocked takes n tokens and one in-flight slot if available. A
+// batch larger than the burst depth may borrow: it is admitted once the
+// bucket is full, driving the balance negative so subsequent requests
+// wait for the debt to repay. Without borrowing it could never run.
+func (g *Gate) tryTakeLocked(n int) bool {
+	if g.lim.MaxInFlight > 0 && g.inFlight+int(g.inFast.Load()) >= g.lim.MaxInFlight {
+		return false
+	}
+	if g.lim.RatePerSec > 0 {
+		need := math.Min(float64(n), float64(g.lim.burst()))
+		if g.tokens < need {
+			return false
+		}
+		g.tokens -= float64(n)
+	}
+	g.inFlight++
+	return true
+}
+
+// wakeLocked admits queued waiters in FIFO order while capacity lasts,
+// then re-arms the refill timer for the head waiter if it is blocked
+// on tokens alone.
+func (g *Gate) wakeLocked(now time.Time) {
+	if !g.lim.active() {
+		for _, w := range g.waiters {
+			w.admitted = true
+			g.inFlight++
+			close(w.ready)
+		}
+		g.waiters = nil
+		return
+	}
+	g.refillLocked(now)
+	for len(g.waiters) > 0 {
+		w := g.waiters[0]
+		if !g.tryTakeLocked(w.n) {
+			break
+		}
+		g.waiters = g.waiters[1:]
+		w.admitted = true
+		close(w.ready)
+	}
+	g.armTimerLocked()
+}
+
+// armTimerLocked schedules a wake-up when the head waiter is blocked
+// only on token refill; releases wake the queue when it is blocked on
+// in-flight capacity.
+func (g *Gate) armTimerLocked() {
+	if len(g.waiters) == 0 || g.lim.RatePerSec <= 0 {
+		return
+	}
+	if g.lim.MaxInFlight > 0 && g.inFlight+int(g.inFast.Load()) >= g.lim.MaxInFlight {
+		return // a release will wake us; a timer would fire uselessly
+	}
+	need := math.Min(float64(g.waiters[0].n), float64(g.lim.burst()))
+	deficit := need - g.tokens
+	if deficit <= 0 {
+		deficit = 0.001 // immediate re-check
+	}
+	d := time.Duration(deficit / g.lim.RatePerSec * float64(time.Second))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if g.timer == nil {
+		g.timer = time.AfterFunc(d, func() {
+			g.mu.Lock()
+			g.wakeLocked(time.Now())
+			g.mu.Unlock()
+		})
+	} else {
+		g.timer.Reset(d)
+	}
+}
+
+func (g *Gate) removeWaiterLocked(w *waiter) {
+	for i, x := range g.waiters {
+		if x == w {
+			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// estimateLocked predicts how long a request joining the queue at
+// position pos (0 = next after current waiters) and wanting n tokens
+// would wait: the larger of the token-refill time for everything ahead
+// of it and a service-time estimate from the in-flight cap and the
+// recent mean service time. 0 means no basis for an estimate.
+func (g *Gate) estimateLocked(pos, n int) time.Duration {
+	var est time.Duration
+	if g.lim.RatePerSec > 0 {
+		ahead := 0.0
+		for _, w := range g.waiters {
+			ahead += float64(w.n)
+		}
+		need := ahead + math.Min(float64(n), float64(g.lim.burst())) - g.tokens
+		if need > 0 {
+			est = time.Duration(need / g.lim.RatePerSec * float64(time.Second))
+		}
+	}
+	if mean := g.meanNS.Load(); mean > 0 && g.lim.MaxInFlight > 0 {
+		slots := g.lim.MaxInFlight
+		t := time.Duration((int64(pos) + 1) * mean / int64(slots))
+		if t > est {
+			est = t
+		}
+	}
+	return est
+}
+
+// RecordServiceTime feeds one fresh solve's wall time into the
+// exponentially weighted mean backing deadline estimates and
+// RetryAfter. Cache hits should not be recorded.
+func (g *Gate) RecordServiceTime(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for {
+		old := g.meanNS.Load()
+		nw := int64(d)
+		if old != 0 {
+			nw = old + (int64(d)-old)/8
+		}
+		if g.meanNS.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// RetryAfter estimates how long a rejected client should wait before
+// retrying: the predicted admission wait for a request joining the
+// back of the queue now. It returns 0 when the gate has no basis for
+// an estimate.
+func (g *Gate) RetryAfter() time.Duration {
+	if !g.limited.Load() {
+		return 0
+	}
+	now := time.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.lim.active() {
+		return 0
+	}
+	g.refillLocked(now)
+	return g.estimateLocked(len(g.waiters), 1)
+}
+
+// Limits returns the currently configured limit set.
+func (g *Gate) Limits() Limits {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.lim
+}
+
+// SetLimits replaces the gate's limits at runtime. Tightening applies
+// to subsequent admissions (in-flight requests are never revoked);
+// loosening to unlimited admits every queued waiter immediately.
+func (g *Gate) SetLimits(l Limits) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	wasActive := g.lim.active()
+	g.lim = l
+	if l.active() {
+		if !wasActive {
+			g.tokens = float64(l.burst())
+			g.last = time.Now()
+		} else {
+			g.tokens = math.Min(g.tokens, float64(l.burst()))
+		}
+		g.limited.Store(true)
+		g.wakeLocked(time.Now())
+	} else {
+		g.limited.Store(false)
+		g.wakeLocked(time.Now()) // releases every waiter
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+// Stats returns a point-in-time snapshot of the gate's accounting.
+func (g *Gate) Stats() Stats {
+	g.mu.Lock()
+	s := Stats{
+		Limits:     g.lim,
+		InFlight:   g.inFlight + int(g.inFast.Load()),
+		QueueDepth: len(g.waiters),
+	}
+	g.mu.Unlock()
+	s.Admitted = g.admitted.Load()
+	s.Queued = g.queued.Load()
+	s.RejectedQueueFull = g.rejFull.Load()
+	s.RejectedDeadline = g.rejDeadline.Load()
+	s.Canceled = g.canceled.Load()
+	s.QueueWait = time.Duration(g.queueWaitNS.Load())
+	s.MeanServiceTime = time.Duration(g.meanNS.Load())
+	return s
+}

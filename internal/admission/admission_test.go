@@ -1,0 +1,425 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func mustGate(t *testing.T, l Limits) *Gate {
+	t.Helper()
+	g, err := NewGate(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestUnlimitedFastPath(t *testing.T) {
+	g := mustGate(t, Limits{})
+	for i := 0; i < 100; i++ {
+		rel, err := g.Admit(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel()
+	}
+	s := g.Stats()
+	if s.Admitted != 100 || s.Queued != 0 || s.InFlight != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if got := g.RetryAfter(); got != 0 {
+		t.Fatalf("RetryAfter on unlimited gate = %v, want 0", got)
+	}
+}
+
+func TestBadLimits(t *testing.T) {
+	for _, l := range []Limits{
+		{RatePerSec: -1},
+		{Burst: -1},
+		{MaxInFlight: -2},
+	} {
+		if _, err := NewGate(l); !errors.Is(err, ErrBadLimits) {
+			t.Errorf("NewGate(%+v) err = %v, want ErrBadLimits", l, err)
+		}
+	}
+	g := mustGate(t, Limits{})
+	if err := g.SetLimits(Limits{RatePerSec: -3}); !errors.Is(err, ErrBadLimits) {
+		t.Errorf("SetLimits err = %v, want ErrBadLimits", err)
+	}
+}
+
+func TestRateLimitPacing(t *testing.T) {
+	g := mustGate(t, Limits{RatePerSec: 100, Burst: 1})
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		rel, err := g.Admit(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel()
+	}
+	// First admit rides the initial token; the remaining 4 must wait for
+	// refill at 100/s. Theory: 40ms; allow generous scheduling slack.
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("5 admits at 100 qps with burst 1 took %v, want >= 30ms", elapsed)
+	}
+	if s := g.Stats(); s.Queued == 0 {
+		t.Fatalf("expected queued requests, stats = %+v", s)
+	}
+}
+
+func TestMaxInFlight(t *testing.T) {
+	g := mustGate(t, Limits{MaxInFlight: 2})
+	rel1, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	admitted := make(chan struct{})
+	go func() {
+		rel3, err := g.Admit(context.Background())
+		if err != nil {
+			t.Error(err)
+			close(admitted)
+			return
+		}
+		close(admitted)
+		rel3()
+	}()
+
+	select {
+	case <-admitted:
+		t.Fatal("third request admitted past MaxInFlight=2")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if s := g.Stats(); s.InFlight != 2 || s.QueueDepth != 1 {
+		t.Fatalf("stats = %+v, want 2 in flight, 1 queued", s)
+	}
+
+	rel1()
+	select {
+	case <-admitted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued request not admitted after release")
+	}
+	rel2()
+	if s := g.Stats(); s.QueueWait <= 0 {
+		t.Fatalf("queue wait not recorded: %+v", s)
+	}
+}
+
+func TestQueueFullRejection(t *testing.T) {
+	g := mustGate(t, Limits{MaxInFlight: 1, QueueDepth: 1})
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		rel2, err := g.Admit(ctx)
+		if err == nil {
+			rel2()
+		}
+		errc <- err
+	}()
+	waitFor(t, func() bool { return g.Stats().QueueDepth == 1 })
+
+	_, err = g.Admit(context.Background())
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if s := g.Stats(); s.RejectedQueueFull != 1 {
+		t.Fatalf("RejectedQueueFull = %d, want 1", s.RejectedQueueFull)
+	}
+	cancel()
+	if err := <-errc; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued admit err = %v", err)
+	}
+}
+
+func TestNoQueueRejectsImmediately(t *testing.T) {
+	g := mustGate(t, Limits{MaxInFlight: 1, QueueDepth: -1})
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	start := time.Now()
+	if _, err := g.Admit(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("QueueDepth<0 rejection blocked")
+	}
+}
+
+func TestPredictiveDeadlineRejection(t *testing.T) {
+	// Drain the single token; the next request would wait ~1s for
+	// refill, far past its 50ms deadline: reject up front, without
+	// queueing.
+	g := mustGate(t, Limits{RatePerSec: 1, Burst: 1})
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = g.Admit(ctx)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("predictive rejection should not wrap ctx error, got %v", err)
+	}
+	if time.Since(start) > 40*time.Millisecond {
+		t.Fatal("predictive rejection waited instead of rejecting up front")
+	}
+	if s := g.Stats(); s.RejectedDeadline != 1 || s.Queued != 0 {
+		t.Fatalf("stats = %+v, want 1 deadline rejection and no queueing", s)
+	}
+}
+
+func TestDeadlineExpiresWhileQueued(t *testing.T) {
+	// One slot held forever, no rate limit: the gate has no estimate
+	// (no service-time history), so the request queues — then its
+	// deadline fires while it waits.
+	g := mustGate(t, Limits{MaxInFlight: 1})
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err = g.Admit(ctx)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want to also match context.DeadlineExceeded", err)
+	}
+	s := g.Stats()
+	if s.RejectedDeadline != 1 || s.Queued != 1 || s.QueueDepth != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestCancelWhileQueued(t *testing.T) {
+	g := mustGate(t, Limits{MaxInFlight: 1})
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := g.Admit(ctx)
+		errc <- err
+	}()
+	waitFor(t, func() bool { return g.Stats().QueueDepth == 1 })
+	cancel()
+	err = <-errc
+	if !errors.Is(err, context.Canceled) || errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want bare context.Canceled", err)
+	}
+	if s := g.Stats(); s.Canceled != 1 || s.QueueDepth != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestSetLimitsLoosenReleasesWaiters(t *testing.T) {
+	g := mustGate(t, Limits{MaxInFlight: 1})
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	const waiters = 3
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := g.Admit(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rel()
+		}()
+	}
+	waitFor(t, func() bool { return g.Stats().QueueDepth == waiters })
+	if err := g.SetLimits(Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiters not released after SetLimits to unlimited")
+	}
+}
+
+func TestBatchBorrowsBeyondBurst(t *testing.T) {
+	g := mustGate(t, Limits{RatePerSec: 1000, Burst: 2})
+	rel, err := g.AdmitN(context.Background(), 10) // > burst: admitted on a full bucket
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	// The bucket is now in debt; a follow-up must wait for repayment.
+	start := time.Now()
+	rel, err = g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("post-batch admit took %v, expected to wait for token debt", elapsed)
+	}
+}
+
+func TestRetryAfterEstimate(t *testing.T) {
+	g := mustGate(t, Limits{MaxInFlight: 1, QueueDepth: 4})
+	g.RecordServiceTime(100 * time.Millisecond)
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	// One slot busy, none queued: a new arrival would wait about one
+	// mean service time.
+	ra := g.RetryAfter()
+	if ra < 50*time.Millisecond || ra > time.Second {
+		t.Fatalf("RetryAfter = %v, want around 100ms", ra)
+	}
+}
+
+func TestRecordServiceTimeEWMA(t *testing.T) {
+	g := mustGate(t, Limits{MaxInFlight: 1})
+	g.RecordServiceTime(80 * time.Millisecond)
+	if got := g.Stats().MeanServiceTime; got != 80*time.Millisecond {
+		t.Fatalf("first observation mean = %v, want 80ms", got)
+	}
+	for i := 0; i < 64; i++ {
+		g.RecordServiceTime(160 * time.Millisecond)
+	}
+	got := g.Stats().MeanServiceTime
+	if got < 140*time.Millisecond || got > 160*time.Millisecond {
+		t.Fatalf("EWMA after drift = %v, want near 160ms", got)
+	}
+}
+
+func TestHammerConcurrent(t *testing.T) {
+	g := mustGate(t, Limits{RatePerSec: 5000, Burst: 50, MaxInFlight: 4, QueueDepth: 32})
+
+	var running, peak atomic.Int64
+	var admitted, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx := context.Background()
+				if i%4 == 0 {
+					c, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+					defer cancel()
+					ctx = c
+				}
+				rel, err := g.Admit(ctx)
+				if err != nil {
+					if !errors.Is(err, ErrOverloaded) && !errors.Is(err, context.DeadlineExceeded) {
+						t.Errorf("unexpected admit error: %v", err)
+					}
+					rejected.Add(1)
+					continue
+				}
+				n := running.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(time.Duration(w%3) * 100 * time.Microsecond)
+				g.RecordServiceTime(200 * time.Microsecond)
+				running.Add(-1)
+				rel()
+				admitted.Add(1)
+			}
+		}(w)
+	}
+
+	// Concurrent control-plane churn between limited shapes.
+	stop := make(chan struct{})
+	var cwg sync.WaitGroup
+	cwg.Add(1)
+	go func() {
+		defer cwg.Done()
+		shapes := []Limits{
+			{RatePerSec: 5000, Burst: 50, MaxInFlight: 4, QueueDepth: 32},
+			{RatePerSec: 8000, Burst: 100, MaxInFlight: 3, QueueDepth: 16},
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := g.SetLimits(shapes[i%len(shapes)]); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = g.Stats()
+			_ = g.RetryAfter()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	cwg.Wait()
+
+	if peak.Load() > 4 {
+		t.Fatalf("observed %d concurrent admissions, cap was 4", peak.Load())
+	}
+	s := g.Stats()
+	if s.InFlight != 0 || s.QueueDepth != 0 {
+		t.Fatalf("gate not drained: %+v", s)
+	}
+	if admitted.Load()+rejected.Load() != 16*50 {
+		t.Fatalf("admitted %d + rejected %d != 800", admitted.Load(), rejected.Load())
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

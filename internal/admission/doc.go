@@ -1,0 +1,21 @@
+// Package admission implements the per-tenant QoS gate that fronts
+// every NetworkHandle: a token-bucket rate limit (queries per second
+// plus burst), a cap on concurrently in-flight solves, and a bounded
+// FIFO admission queue with deadline-aware backpressure.
+//
+// A Gate admits a request when the tenant is under its rate and
+// in-flight limits; otherwise the request queues (FIFO, bounded by
+// QueueDepth) until capacity frees up or its context ends. Requests
+// are rejected with ErrOverloaded without queueing when the queue is
+// full, or when the gate estimates — from the queue length, the token
+// refill rate and an exponentially weighted mean of recent service
+// times — that the request's context deadline would expire before it
+// could be admitted. The same estimate backs RetryAfter, which the
+// daemon surfaces as the Retry-After header on 429 responses.
+//
+// An unlimited gate (the default: all Limits fields zero) stays on a
+// lock-free fast path of two atomic operations per request, so the
+// cached solve hot path is unaffected for tenants with no configured
+// limits. Limits are mutable at runtime via SetLimits; loosening to
+// unlimited releases every queued waiter.
+package admission

@@ -63,6 +63,10 @@ type Stats struct {
 	// Patches counts per-worker patch applications (one Patch call
 	// increments it once per worker that ran the apply function).
 	Patches int64
+	// InFlight is the number of accepted but unfinished tasks (queued or
+	// running, patch broadcasts included) at snapshot time — the pool
+	// occupancy a scrape reports.
+	InFlight int
 }
 
 // task is one query in flight: submitted to exactly one worker queue,
@@ -117,9 +121,10 @@ type Pool struct {
 	drain  chan struct{} // closed once no new work is accepted
 	kill   chan struct{} // closed to abort queued and running work
 
-	killOnce sync.Once
-	wg       sync.WaitGroup // worker goroutines
-	inflight sync.WaitGroup // accepted but unfinished tasks
+	killOnce  sync.Once
+	wg        sync.WaitGroup // worker goroutines
+	inflight  sync.WaitGroup // accepted but unfinished tasks
+	inflightN atomic.Int64   // readable mirror of inflight for Stats
 
 	submitted, completed, failed, warmHits, patches atomic.Int64
 }
@@ -185,6 +190,7 @@ func (p *Pool) Stats() Stats {
 		Failed:      p.failed.Load(),
 		WarmStarted: p.warmHits.Load(),
 		Patches:     p.patches.Load(),
+		InFlight:    int(p.inflightN.Load()),
 	}
 }
 
@@ -215,6 +221,7 @@ func (p *Pool) submit(t *task) error {
 		return ErrClosed
 	}
 	p.inflight.Add(1)
+	p.inflightN.Add(1)
 	p.submitted.Add(1)
 	w.mu.Lock()
 	w.queue = append(w.queue, t)
@@ -352,6 +359,7 @@ func (p *Pool) Patch(apply func(Session) error) (wait func() error, err error) {
 	for i, w := range p.workers {
 		t := &task{ctx: context.Background(), apply: apply, done: make(chan struct{})}
 		p.inflight.Add(1)
+		p.inflightN.Add(1)
 		w.mu.Lock()
 		w.queue = append(w.queue, t)
 		w.mu.Unlock()
@@ -491,6 +499,7 @@ func (w *worker) fail(t *task, err error) {
 		w.p.failed.Add(1)
 	}
 	close(t.done)
+	w.p.inflightN.Add(-1)
 	w.p.inflight.Done()
 }
 
@@ -514,6 +523,7 @@ func (w *worker) run(t *task) {
 		t.err = t.apply(w.sess)
 		p.patches.Add(1)
 		close(t.done)
+		p.inflightN.Add(-1)
 		p.inflight.Done()
 		return
 	}
@@ -527,6 +537,7 @@ func (w *worker) run(t *task) {
 			}
 		}
 		close(t.done)
+		p.inflightN.Add(-1)
 		p.inflight.Done()
 	}
 	if err := t.ctx.Err(); err != nil {

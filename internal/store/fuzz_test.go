@@ -20,6 +20,10 @@ func FuzzDecodeRecord(f *testing.F) {
 		{LSN: 2, Type: RecSwap, Name: "beta", Version: 9, Opts: TenantOpts{Backend: "csr-pcg", Tol: 1e-6}, N: 2, Arcs: arcs[:1]},
 		{LSN: 3, Type: RecPatch, Name: "gamma", Version: 4, Deltas: []graph.ArcDelta{{Arc: 2, CapDelta: -1, CostDelta: 3}}},
 		{LSN: 4, Type: RecDeregister, Name: "delta", Version: 2},
+		{LSN: 5, Type: RecLimits, Name: "epsilon", Version: 3, Opts: TenantOpts{
+			Limits: TenantLimits{Rate: 2.5, Burst: 4, MaxInFlight: 2, QueueDepth: 8,
+				RateSet: true, InFlightSet: true, QueueSet: true},
+		}},
 	}
 	for _, rec := range seeds {
 		enc := encodeRecord(nil, &rec)

@@ -24,6 +24,9 @@ const (
 	RecPatch
 	// RecDeregister retires a tenant.
 	RecDeregister
+	// RecLimits replaces a tenant's admission limits. Limits do not
+	// affect certified results, so the tenant's version is unchanged.
+	RecLimits
 )
 
 func (t RecordType) String() string {
@@ -36,8 +39,25 @@ func (t RecordType) String() string {
 		return "patch"
 	case RecDeregister:
 		return "deregister"
+	case RecLimits:
+		return "limits"
 	}
 	return fmt.Sprintf("RecordType(%d)", uint8(t))
+}
+
+// TenantLimits is the serializable per-tenant QoS limit set, holding
+// the public option values (WithRateLimit, WithMaxInFlight,
+// WithQueueDepth) verbatim; the *Set flags record which options were
+// supplied explicitly, so replay re-applies exactly the options the
+// caller passed.
+type TenantLimits struct {
+	Rate        float64
+	Burst       int
+	MaxInFlight int
+	QueueDepth  int
+	RateSet     bool
+	InFlightSet bool
+	QueueSet    bool
 }
 
 // TenantOpts is the serializable slice of a tenant's resolved solver
@@ -54,6 +74,7 @@ type TenantOpts struct {
 	Shards       int
 	CacheSize    int
 	CacheSizeSet bool
+	Limits       TenantLimits
 }
 
 // Record is one WAL entry: a tenant lifecycle event with the payload its
@@ -101,6 +122,8 @@ func encodeRecord(buf []byte, r *Record) []byte {
 			buf = binary.AppendVarint(buf, d.CapDelta)
 			buf = binary.AppendVarint(buf, d.CostDelta)
 		}
+	case RecLimits:
+		buf = appendLimits(buf, r.Opts.Limits)
 	}
 	return buf
 }
@@ -117,7 +140,7 @@ func DecodeRecord(payload []byte) (*Record, error) {
 	r.LSN = d.uvarint("lsn")
 	t := d.byte("type")
 	r.Type = RecordType(t)
-	if r.Type < RecRegister || r.Type > RecDeregister {
+	if r.Type < RecRegister || r.Type > RecLimits {
 		return nil, d.failf("unknown record type %d", t)
 	}
 	r.Name = d.name()
@@ -136,6 +159,8 @@ func DecodeRecord(payload []byte) (*Record, error) {
 				r.Deltas[i].CostDelta = d.varint("cost delta")
 			}
 		}
+	case RecLimits:
+		r.Opts.Limits = d.limits()
 	}
 	if d.err != nil {
 		return nil, d.err
@@ -162,6 +187,25 @@ func appendOpts(buf []byte, o TenantOpts) []byte {
 	var set byte
 	if o.CacheSizeSet {
 		set = 1
+	}
+	buf = append(buf, set)
+	return appendLimits(buf, o.Limits)
+}
+
+func appendLimits(buf []byte, l TenantLimits) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(l.Rate))
+	buf = binary.AppendVarint(buf, int64(l.Burst))
+	buf = binary.AppendVarint(buf, int64(l.MaxInFlight))
+	buf = binary.AppendVarint(buf, int64(l.QueueDepth))
+	var set byte
+	if l.RateSet {
+		set |= 1
+	}
+	if l.InFlightSet {
+		set |= 2
+	}
+	if l.QueueSet {
+		set |= 4
 	}
 	return append(buf, set)
 }
@@ -292,7 +336,39 @@ func (d *decoder) opts() TenantOpts {
 	o.Shards = int(d.varint("shards"))
 	o.CacheSize = int(d.varint("cache size"))
 	o.CacheSizeSet = d.byte("cache size set") != 0
+	o.Limits = d.limits()
 	return o
+}
+
+func (d *decoder) limits() TenantLimits {
+	var l TenantLimits
+	if d.err == nil {
+		if len(d.buf) < 8 {
+			d.failf("truncated rate limit")
+		} else {
+			l.Rate = math.Float64frombits(binary.LittleEndian.Uint64(d.buf))
+			d.buf = d.buf[8:]
+			if math.IsNaN(l.Rate) || math.IsInf(l.Rate, 0) || l.Rate < 0 {
+				d.failf("invalid rate limit %v", l.Rate)
+			}
+		}
+	}
+	l.Burst = int(d.varint("burst"))
+	l.MaxInFlight = int(d.varint("max in-flight"))
+	l.QueueDepth = int(d.varint("queue depth"))
+	if d.err == nil && (l.Burst < 0 || l.MaxInFlight < 0 || l.QueueDepth < 0) {
+		d.failf("negative admission limit")
+	}
+	set := d.byte("limits set flags")
+	if d.err == nil && set > 7 {
+		// Reject unknown flag bits so the codec stays canonical on its
+		// image (decode∘encode is the identity for accepted inputs).
+		d.failf("invalid limits set flags %#x", set)
+	}
+	l.RateSet = set&1 != 0
+	l.InFlightSet = set&2 != 0
+	l.QueueSet = set&4 != 0
+	return l
 }
 
 func (d *decoder) digraph() (int, []graph.Arc) {

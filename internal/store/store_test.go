@@ -376,3 +376,87 @@ func TestCrashRecoveryEveryByteOffset(t *testing.T) {
 		}
 	}
 }
+
+// TestLimitsJournalReplay covers the RecLimits record: limits set at
+// registration survive replay from both the WAL and a snapshot, a
+// RecLimits append replaces them without touching the version, and the
+// persisted bytes round-trip bit-identically.
+func TestLimitsJournalReplay(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{SnapshotEvery: -1})
+
+	rec := regRecord("alpha")
+	rec.Opts.Limits = TenantLimits{Rate: 1.5, Burst: 3, MaxInFlight: 2, QueueDepth: 4,
+		RateSet: true, InFlightSet: true, QueueSet: true}
+	if err := l.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	// A limits change for an unknown tenant must be rejected up front.
+	if err := l.Append(Record{Type: RecLimits, Name: "ghost", Version: 1}); err == nil {
+		t.Fatal("RecLimits for unknown tenant accepted")
+	}
+
+	newLim := TenantLimits{Rate: 9, MaxInFlight: 1, RateSet: true, InFlightSet: true}
+	if err := l.Append(Record{Type: RecLimits, Name: "alpha", Version: 1,
+		Opts: TenantOpts{Limits: newLim}}); err != nil {
+		t.Fatal(err)
+	}
+	ts := l.Tenants()[0]
+	if ts.Version != 1 {
+		t.Fatalf("limits change bumped version to %d", ts.Version)
+	}
+	if ts.Opts.Limits != newLim {
+		t.Fatalf("limits = %+v, want %+v", ts.Opts.Limits, newLim)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay from the WAL.
+	l = openTest(t, dir, Options{})
+	if got := l.Tenants()[0].Opts.Limits; got != newLim {
+		t.Fatalf("after WAL replay limits = %+v, want %+v", got, newLim)
+	}
+	// Fold into a snapshot and replay from that.
+	if err := l.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l = openTest(t, dir, Options{})
+	defer l.Close()
+	if got := l.Tenants()[0].Opts.Limits; got != newLim {
+		t.Fatalf("after snapshot replay limits = %+v, want %+v", got, newLim)
+	}
+	if st := l.Stats(); st.Replayed != 0 {
+		t.Fatalf("snapshot replay still replayed %d WAL records", st.Replayed)
+	}
+}
+
+// TestFsyncCounter checks Stats.Fsyncs tracks append-path syncs and
+// stays zero under SyncNever.
+func TestFsyncCounter(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{Sync: SyncAlways, SnapshotEvery: -1})
+	if err := l.Append(regRecord("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(regRecord("beta")); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Fsyncs; got != 2 {
+		t.Fatalf("Fsyncs = %d, want 2", got)
+	}
+	l.Close()
+
+	l = openTest(t, t.TempDir(), Options{Sync: SyncNever, SnapshotEvery: -1})
+	defer l.Close()
+	if err := l.Append(regRecord("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Fsyncs; got != 0 {
+		t.Fatalf("Fsyncs under SyncNever = %d, want 0", got)
+	}
+}

@@ -64,8 +64,9 @@ type Stats struct {
 	NextLSN uint64
 	// Appends and Snapshots count successful operations since Open;
 	// SnapshotErrors counts failed automatic compactions (the append that
-	// triggered them still succeeded).
-	Appends, Snapshots, SnapshotErrors int64
+	// triggered them still succeeded). Fsyncs counts WAL-file fsyncs on
+	// the append path (zero under SyncNever).
+	Appends, Snapshots, SnapshotErrors, Fsyncs int64
 	// Replayed is the number of WAL records Open folded in on top of the
 	// newest valid snapshot; TruncatedBytes the torn tail Open discarded.
 	Replayed       int
@@ -75,9 +76,12 @@ type Stats struct {
 }
 
 const (
-	walName    = "wal.bclog"
-	walMagic   = "BCWAL01\n"
-	snapMagic  = "BCSNAP1\n"
+	walName = "wal.bclog"
+	// Format 02 extends TenantOpts with the admission limit set and adds
+	// the RecLimits record type. Format 01 stores are not migrated: the
+	// magic mismatch fails Open loudly rather than misdecoding.
+	walMagic   = "BCWAL02\n"
+	snapMagic  = "BCSNAP2\n"
 	snapPrefix = "snap-"
 	snapSuffix = ".bcsnap"
 	// snapKeep is how many snapshot generations survive a compaction: the
@@ -111,9 +115,9 @@ type Log struct {
 	nextLSN uint64
 	state   map[string]*TenantState
 
-	appends, snapshots, snapErrs int64
-	replayed                     int
-	truncated                    int64
+	appends, snapshots, snapErrs, fsyncs int64
+	replayed                             int
+	truncated                            int64
 }
 
 // Open opens (creating if needed) the store rooted at dir and recovers its
@@ -266,6 +270,7 @@ func (l *Log) Append(rec Record) error {
 			rollback(err)
 			return fmt.Errorf("store: append sync: %w", err)
 		}
+		l.fsyncs++
 	}
 	applyRecord(l.state, &rec)
 	l.walSize += int64(len(fr))
@@ -352,6 +357,7 @@ func (l *Log) Stats() Stats {
 		Appends:        l.appends,
 		Snapshots:      l.snapshots,
 		SnapshotErrors: l.snapErrs,
+		Fsyncs:         l.fsyncs,
 		Replayed:       l.replayed,
 		TruncatedBytes: l.truncated,
 		WALBytes:       l.walSize,
@@ -401,6 +407,10 @@ func checkRecord(state map[string]*TenantState, rec *Record) error {
 		if ts == nil {
 			return fmt.Errorf("deregister of unknown tenant")
 		}
+	case RecLimits:
+		if ts == nil {
+			return fmt.Errorf("limits for unknown tenant")
+		}
 	default:
 		return fmt.Errorf("unknown record type %d", rec.Type)
 	}
@@ -431,6 +441,8 @@ func applyRecord(state map[string]*TenantState, rec *Record) {
 		ts.Patches++
 	case RecDeregister:
 		delete(state, rec.Name)
+	case RecLimits:
+		state[rec.Name].Opts.Limits = rec.Opts.Limits
 	}
 }
 

@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	g := r.Gauge("test_depth", "depth")
+
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestVecChildrenStable(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_solves_total", "solves", "tenant", "cache")
+	a := v.With("alpha", "hit")
+	b := v.With("alpha", "hit")
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 || b.Value() != 2 {
+		t.Fatalf("children for identical labels not shared: %d, %d", a.Value(), b.Value())
+	}
+	other := v.With("beta", "hit")
+	if other.Value() != 0 {
+		t.Fatalf("distinct labels share state: %d", other.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`test_latency_seconds_bucket{le="0.01"} 1`,
+		`test_latency_seconds_bucket{le="0.1"} 2`,
+		`test_latency_seconds_bucket{le="1"} 3`,
+		`test_latency_seconds_bucket{le="+Inf"} 4`,
+		`test_latency_seconds_count 4`,
+		`test_latency_seconds_sum 5.555`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_b_total", "b counter", "tenant")
+	v.With("t\"x\\y\nz").Inc()
+	r.Gauge("test_a", "a gauge\nwith newline").Set(math.Inf(1))
+	r.Histogram("test_empty_seconds", "never observed", []float64{1})
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	// Families sorted by name, HELP directly before TYPE.
+	ia := strings.Index(out, "# HELP test_a ")
+	ib := strings.Index(out, "# HELP test_b_total ")
+	ie := strings.Index(out, "# HELP test_empty_seconds ")
+	if ia < 0 || ib < 0 || ie < 0 || !(ia < ib && ib < ie) {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+	// Headers present even for the never-observed histogram, whose
+	// unlabeled child emits a zero-valued skeleton so scrapes see a
+	// consistent series set from the first request on.
+	for _, want := range []string{
+		"# TYPE test_a gauge",
+		"# TYPE test_b_total counter",
+		"# TYPE test_empty_seconds histogram",
+		`a gauge\nwith newline`,
+		"test_a +Inf",
+		`test_b_total{tenant="t\"x\\y\nz"} 1`,
+		`test_empty_seconds_bucket{le="1"} 0`,
+		`test_empty_seconds_bucket{le="+Inf"} 0`,
+		"test_empty_seconds_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollectFunc(t *testing.T) {
+	r := NewRegistry()
+	depth := 3.0
+	r.CollectFunc("test_queue_depth", "queue depth", "gauge", []string{"tenant"},
+		func(emit func(float64, ...string)) {
+			emit(depth, "alpha")
+			emit(0, "beta")
+		})
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE test_queue_depth gauge",
+		`test_queue_depth{tenant="alpha"} 3`,
+		`test_queue_depth{tenant="beta"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "t")
+	h := r.HistogramVec("test_lat_seconds", "l", nil, "tenant")
+	g := r.Gauge("test_g", "g")
+
+	const workers, each = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			child := h.With("tenant")
+			for i := 0; i < each; i++ {
+				c.Inc()
+				g.Add(1)
+				child.Observe(float64(i%10) * 1e-4)
+				if i%100 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+	if got := g.Value(); got != workers*each {
+		t.Fatalf("gauge = %g, want %d", got, workers*each)
+	}
+	if got := h.With("tenant").Count(); got != workers*each {
+		t.Fatalf("histogram count = %d, want %d", got, workers*each)
+	}
+}
+
+func TestTraceIDs(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 10000; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace ID %q has length %d, want 16", id, len(id))
+		}
+		for _, c := range id {
+			if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+				t.Fatalf("trace ID %q not lowercase hex", id)
+			}
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+
+	ctx := WithTraceID(context.Background(), "deadbeefdeadbeef")
+	if got := TraceID(ctx); got != "deadbeefdeadbeef" {
+		t.Fatalf("TraceID = %q", got)
+	}
+	if got := TraceID(context.Background()); got != "" {
+		t.Fatalf("TraceID on empty ctx = %q, want empty", got)
+	}
+}

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"context"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// Trace IDs are 16-hex-character tokens minted at the HTTP boundary and
+// threaded through context so one request can be correlated across
+// structured logs, solve Stats and error responses. They are unique
+// within a process run and seeded from wall time and pid so that IDs
+// from successive runs of the same binary do not collide in log
+// aggregation.
+
+var traceState atomic.Uint64
+
+func init() {
+	traceState.Store(uint64(time.Now().UnixNano())*0x9E3779B97F4A7C15 ^
+		uint64(os.Getpid())<<32)
+}
+
+// NewTraceID returns a fresh 16-character lowercase-hex trace ID. It is
+// safe for concurrent use and does not allocate beyond the returned
+// string.
+func NewTraceID() string {
+	// splitmix64: counter increment by the golden-ratio constant, then
+	// finalization mix; distinct counters map to distinct outputs.
+	x := traceState.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+
+	const hex = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hex[x&0xf]
+		x >>= 4
+	}
+	return string(b[:])
+}
+
+type traceKey struct{}
+
+// WithTraceID returns a context carrying the given trace ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceID returns the trace ID carried by ctx, or "" if none is set.
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}

@@ -59,6 +59,14 @@ type config struct {
 	storeDir       string
 	storeSync      SyncPolicy
 	storeSnapEvery int
+	rateQPS        float64
+	rateBurst      int
+	rateSet        bool
+	maxInFlight    int
+	maxInFlightSet bool
+	queueDepth     int
+	queueDepthSet  bool
+	telemetryOff   bool
 }
 
 func applyOptions(opts []Option) config {
@@ -164,6 +172,63 @@ func WithProgress(fn func(Event)) Option {
 // Applies to NewService and Service.Register/Swap.
 func WithCacheSize(n int) Option {
 	return func(c *config) { c.cacheSize = n; c.cacheSizeSet = true }
+}
+
+// WithRateLimit caps a network's sustained admission rate at qps
+// queries per second with the given token-bucket burst (how many
+// queries may be admitted back-to-back after idling; burst <= 0 means
+// max(1, ⌈qps⌉)). A SolveBatch consumes one token per query. Saturated
+// requests wait in the admission queue (WithQueueDepth) and are
+// rejected with ErrOverloaded when it is full or their deadline would
+// expire while queued. qps = 0 removes the rate limit; a negative qps
+// fails registration with ErrBadLimits. Limits are journaled on a
+// durable service and survive restarts; NetworkHandle.SetLimits changes
+// them at runtime. Applies to NewService and Service.Register/Swap.
+func WithRateLimit(qps float64, burst int) Option {
+	return func(c *config) {
+		if burst < 0 {
+			burst = 0
+		}
+		c.rateQPS = qps
+		c.rateBurst = burst
+		c.rateSet = true
+	}
+}
+
+// WithMaxInFlight caps how many admitted requests a network may have
+// running concurrently (a SolveBatch counts as one request; its
+// internal fan-out is already bounded by the tenant's pool size).
+// Excess requests queue per WithQueueDepth. n = 0 removes the cap;
+// negative n fails registration with ErrBadLimits. Applies to
+// NewService and Service.Register/Swap.
+func WithMaxInFlight(n int) Option {
+	return func(c *config) { c.maxInFlight = n; c.maxInFlightSet = true }
+}
+
+// WithQueueDepth bounds the admission queue: how many requests may wait
+// when the network is at its rate or in-flight limit (default
+// admission.DefaultQueueDepth = 16 once any limit is active). n <= 0
+// disables queueing, so saturated requests fail immediately with
+// ErrOverloaded. Irrelevant while no limit is configured. Applies to
+// NewService and Service.Register/Swap.
+func WithQueueDepth(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		c.queueDepth = n
+		c.queueDepthSet = true
+	}
+}
+
+// WithTelemetry enables or disables the service's metrics registry
+// (default enabled). With telemetry off, Service.WriteMetrics fails and
+// the solve path skips all metric recording — an escape hatch for
+// embedders that scrape nothing and want the last nanoseconds of the
+// cached hot path. Admission limits are enforced either way. Applies to
+// NewService and OpenService.
+func WithTelemetry(enabled bool) Option {
+	return func(c *config) { c.telemetryOff = !enabled }
 }
 
 // WithLPParams overrides the interior-point parameters (step size,

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Metrics schema gate: scrapes /metrics off an in-process daemon and
+# diffs every exported family name and type against
+# cmd/bcclap-serve/testdata/metrics.golden (names/types only — sample
+# values and label sets vary with traffic and are not pinned). The same
+# test lints the scrape for Prometheus text-format shape: HELP before
+# TYPE, known types, no orphan samples, +Inf histogram buckets.
+#
+# A schema change is sometimes right — after reviewing the dashboards it
+# breaks, regenerate the golden file with:
+#
+#   UPDATE_GOLDEN=1 go test -run TestServeMetricsGolden ./cmd/bcclap-serve/
+#
+# Run from anywhere in the repo; CI fails the build on drift.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go test -count=1 -run TestServeMetricsGolden ./cmd/bcclap-serve/

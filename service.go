@@ -4,15 +4,19 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"bcclap/internal/admission"
 	"bcclap/internal/cache"
 	"bcclap/internal/flow"
 	"bcclap/internal/graph"
 	"bcclap/internal/store"
+	"bcclap/internal/telemetry"
 )
 
 // DefaultCacheSize is the per-network certified-result cache budget a
@@ -28,6 +32,21 @@ type CacheStats = cache.Stats
 // StoreStats re-exports the durable-store counters (appends, snapshots,
 // records replayed and bytes truncated at the last recovery).
 type StoreStats = store.Stats
+
+// Limits is the per-tenant QoS limit set enforced by each handle's
+// admission gate: sustained rate (token bucket with a burst depth), an
+// in-flight cap, and the bounded admission queue between them. The zero
+// value means unlimited. Configure at Register/Swap with WithRateLimit,
+// WithMaxInFlight and WithQueueDepth — note those options use serving-
+// surface conventions (queue depth 0 disables queueing) while this
+// struct keeps the gate's (QueueDepth 0 means the default, negative
+// disables) — or change at runtime with NetworkHandle.SetLimits.
+type Limits = admission.Limits
+
+// AdmissionStats re-exports the per-tenant admission-gate counters
+// (admitted/queued/rejected totals, live occupancy, cumulative queue
+// wait and the EWMA service time backing Retry-After estimates).
+type AdmissionStats = admission.Stats
 
 // Service is the multi-tenant top of the API: one process managing many
 // named, versioned flow networks over the session/pool machinery, the way
@@ -65,6 +84,11 @@ type Service struct {
 	// order mutations became visible.
 	log *store.Log
 
+	// tel is the recording half of the service's telemetry: the one
+	// hot-path metric family plus the scrape-time machinery behind
+	// WriteMetrics. Nil when WithTelemetry(false) was passed.
+	tel *serviceTelemetry
+
 	mu     sync.RWMutex
 	nets   map[string]*NetworkHandle
 	closed bool
@@ -89,9 +113,10 @@ type NetworkStats struct {
 	Backend  string
 	PoolSize int
 	// Pool snapshots the solver pool counters, Cache the certified-result
-	// cache counters.
-	Pool  PoolStats
-	Cache CacheStats
+	// cache counters, Admission the QoS gate (configured limits included).
+	Pool      PoolStats
+	Cache     CacheStats
+	Admission AdmissionStats
 }
 
 // ServiceStats aggregates the whole service: tenant count, lifecycle
@@ -125,10 +150,14 @@ type ServiceStats struct {
 // WithNetwork is therefore rejected by Register, as it is for any pooled
 // solver.
 func NewService(opts ...Option) *Service {
-	return &Service{
+	s := &Service{
 		defaults: slices.Clone(opts),
 		nets:     make(map[string]*NetworkHandle),
 	}
+	if !applyOptions(opts).telemetryOff {
+		s.tel = newServiceTelemetry()
+	}
+	return s
 }
 
 // OpenService builds a durable service: with WithStore(dir) among opts it
@@ -185,6 +214,15 @@ func tenantOptsOf(merged []Option) store.TenantOpts {
 		Shards:       cfg.shards,
 		CacheSize:    cfg.cacheSize,
 		CacheSizeSet: cfg.cacheSizeSet,
+		Limits: store.TenantLimits{
+			Rate:        cfg.rateQPS,
+			Burst:       cfg.rateBurst,
+			MaxInFlight: cfg.maxInFlight,
+			QueueDepth:  cfg.queueDepth,
+			RateSet:     cfg.rateSet,
+			InFlightSet: cfg.maxInFlightSet,
+			QueueSet:    cfg.queueDepthSet,
+		},
 	}
 }
 
@@ -204,7 +242,39 @@ func tenantOptions(o store.TenantOpts) []Option {
 	if o.CacheSizeSet {
 		opts = append(opts, WithCacheSize(o.CacheSize))
 	}
+	if o.Limits.RateSet {
+		opts = append(opts, WithRateLimit(o.Limits.Rate, o.Limits.Burst))
+	}
+	if o.Limits.InFlightSet {
+		opts = append(opts, WithMaxInFlight(o.Limits.MaxInFlight))
+	}
+	if o.Limits.QueueSet {
+		opts = append(opts, WithQueueDepth(o.Limits.QueueDepth))
+	}
 	return opts
+}
+
+// limitsOf maps the serving-surface limit options onto the gate's Limits
+// convention. An unset knob stays zero (the gate default); an explicit
+// WithQueueDepth(0) — "no queue" at the option surface — becomes the
+// gate's negative "queueing disabled".
+func limitsOf(cfg config) Limits {
+	var l Limits
+	if cfg.rateSet {
+		l.RatePerSec = cfg.rateQPS
+		l.Burst = cfg.rateBurst
+	}
+	if cfg.maxInFlightSet {
+		l.MaxInFlight = cfg.maxInFlight
+	}
+	if cfg.queueDepthSet {
+		if cfg.queueDepth > 0 {
+			l.QueueDepth = cfg.queueDepth
+		} else {
+			l.QueueDepth = -1
+		}
+	}
+	return l
 }
 
 // replayTenant rebuilds one persisted tenant during OpenService (the log
@@ -217,8 +287,13 @@ func (s *Service) replayTenant(ts store.TenantState) error {
 		}
 	}
 	opts := tenantOptions(ts.Opts)
-	solver, cacheSize, err := newTenantSolver(d, opts)
+	solver, cacheSize, lims, err := newTenantSolver(d, opts)
 	if err != nil {
+		return err
+	}
+	gate, err := admission.NewGate(lims)
+	if err != nil {
+		solver.Close()
 		return err
 	}
 	h := &NetworkHandle{
@@ -230,7 +305,9 @@ func (s *Service) replayTenant(ts store.TenantState) error {
 		version: ts.Version,
 		patches: ts.Patches,
 		cache:   cache.New[*FlowResult](cacheSize),
+		gate:    gate,
 	}
+	h.lat.Store(s.latFor(ts.Name, solver.Backend()))
 	s.mu.Lock()
 	s.nets[ts.Name] = h
 	s.mu.Unlock()
@@ -254,26 +331,32 @@ func validName(name string) error {
 }
 
 // newTenantSolver builds the pooled FlowSolver for one tenant from the
-// fully merged option slice and resolves its cache budget.
-func newTenantSolver(d *Digraph, merged []Option) (solver *FlowSolver, cacheSize int, err error) {
+// fully merged option slice and resolves its cache budget and QoS limits.
+func newTenantSolver(d *Digraph, merged []Option) (solver *FlowSolver, cacheSize int, lims Limits, err error) {
+	cfg := applyOptions(merged)
+	// Validate limits before the (expensive) solver build: a bad
+	// WithRateLimit/WithMaxInFlight fails fast and journals nothing.
+	lims = limitsOf(cfg)
+	if err := lims.Validate(); err != nil {
+		return nil, 0, Limits{}, fmt.Errorf("bcclap: %w", err)
+	}
 	// Pool floor: handles must always be pooled (concurrency-safe and
 	// drainable for Swap), so an absent or non-positive WithPoolSize is
 	// clamped to 1 — appended last so it beats the invalid value, while
 	// any explicit positive choice keeps winning on its own.
-	cfg := applyOptions(merged)
 	opts := merged
 	if cfg.poolSize < 1 {
 		opts = append(slices.Clone(merged), WithPoolSize(1))
 	}
 	solver, err = NewFlowSolver(d, opts...)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, Limits{}, err
 	}
 	size := DefaultCacheSize
 	if cfg.cacheSizeSet {
 		size = cfg.cacheSize
 	}
-	return solver, size, nil
+	return solver, size, lims, nil
 }
 
 // Register ingests d under name and returns its handle. The per-network
@@ -291,8 +374,13 @@ func (s *Service) Register(name string, d *Digraph, opts ...Option) (*NetworkHan
 	held := d.Clone()
 	// Construct outside the lock: solver construction does real work and
 	// must not serialize tenants; the name reservation below re-checks.
-	solver, cacheSize, err := newTenantSolver(held, merged)
+	solver, cacheSize, lims, err := newTenantSolver(held, merged)
 	if err != nil {
+		return nil, err
+	}
+	gate, err := admission.NewGate(lims)
+	if err != nil {
+		solver.Close()
 		return nil, err
 	}
 	h := &NetworkHandle{
@@ -303,7 +391,9 @@ func (s *Service) Register(name string, d *Digraph, opts ...Option) (*NetworkHan
 		d:       held,
 		version: 1,
 		cache:   cache.New[*FlowResult](cacheSize),
+		gate:    gate,
 	}
+	h.lat.Store(s.latFor(name, solver.Backend()))
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -524,6 +614,17 @@ type NetworkHandle struct {
 	// in flight fails fast with ErrNetworkBusy instead of queueing.
 	mutating atomic.Bool
 
+	// gate is the tenant's QoS admission controller; immutable for the
+	// handle's lifetime (SetLimits mutates it in place, never replaces
+	// it), so the solve path reads it without holding h.mu.
+	gate *admission.Gate
+
+	// tick drives the 1-in-64 sampling of cache-hit latencies; lat holds
+	// the hot-path histogram children for the current backend (nil with
+	// telemetry disabled), swapped atomically when Swap changes backends.
+	tick atomic.Uint64
+	lat  atomic.Pointer[latChildren]
+
 	mu      sync.RWMutex
 	opts    []Option // merged service defaults + register/swap overrides
 	solver  *FlowSolver
@@ -572,6 +673,10 @@ func cloneResult(res *FlowResult, hit bool) *FlowResult {
 	out := *res
 	out.Flows = slices.Clone(res.Flows)
 	out.Stats.CacheHit = hit
+	// Trace IDs are request-scoped, never cached: the entry going into
+	// (or coming out of) the cache must not carry the trace of whichever
+	// request happened to touch it first.
+	out.Stats.TraceID = ""
 	return &out
 }
 
@@ -605,9 +710,25 @@ func (h *NetworkHandle) swappedSince(ver uint64) bool {
 // makes resolves after PatchArcs cheap) and populates the cache. A query
 // that loses the race with a concurrent Swap transparently retries on the
 // new network, so tenants never observe spurious shutdown errors from
-// their own swaps. Sentinels match FlowSolver.Solve (ErrBadQuery, ctx
+// their own swaps. Every query first passes the tenant's admission gate
+// (cache hits included — QoS limits bound offered load, not solver
+// work); a saturated gate queues or rejects with ErrOverloaded per the
+// configured Limits. Sentinels match FlowSolver.Solve (ErrBadQuery, ctx
 // errors), plus ErrSolverClosed after Deregister.
 func (h *NetworkHandle) Solve(ctx context.Context, s, t int) (*FlowResult, error) {
+	rel, err := h.gate.Admit(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("bcclap: network %q: %w", h.name, err)
+	}
+	defer rel()
+	// Cache-hit latency is sampled 1-in-64: the hit path is a few hundred
+	// nanoseconds, so even one time.Now pair per hit would be a measurable
+	// tax. Misses need no clock — the solver already measures WallTime.
+	var start time.Time
+	sampled := h.tick.Add(1)&63 == 0 && h.lat.Load() != nil
+	if sampled {
+		start = time.Now()
+	}
 	for {
 		solver, ver, c, err := h.snapshot()
 		if err != nil {
@@ -615,7 +736,14 @@ func (h *NetworkHandle) Solve(ctx context.Context, s, t int) (*FlowResult, error
 		}
 		key := cache.Key{Version: ver, S: s, T: t}
 		if res, ok := c.Get(key); ok {
-			return cloneResult(res, true), nil
+			out := cloneResult(res, true)
+			out.Stats.TraceID = telemetry.TraceID(ctx)
+			if sampled {
+				if lc := h.lat.Load(); lc != nil {
+					lc.hit.Observe(time.Since(start).Seconds())
+				}
+			}
+			return out, nil
 		}
 		res, err := solver.solveWarm(ctx, s, t)
 		if errors.Is(err, ErrSolverClosed) && h.swappedSince(ver) {
@@ -624,7 +752,12 @@ func (h *NetworkHandle) Solve(ctx context.Context, s, t int) (*FlowResult, error
 		if err != nil {
 			return nil, err
 		}
+		h.gate.RecordServiceTime(res.Stats.WallTime)
+		if lc := h.lat.Load(); lc != nil {
+			lc.miss.Observe(res.Stats.WallTime.Seconds())
+		}
 		h.store(ver, key, res)
+		res.Stats.TraceID = telemetry.TraceID(ctx)
 		return res, nil
 	}
 }
@@ -633,7 +766,17 @@ func (h *NetworkHandle) Solve(ctx context.Context, s, t int) (*FlowResult, error
 // in O(1), and only the misses fan out to the tenant's pool (repeated
 // misses inside one batch still warm-start there). Results come back in
 // query order and every answer — cached or fresh — is certified exact.
+// The batch passes the admission gate as one request consuming one rate
+// token per query (so a large batch cannot launder a rate limit) and one
+// in-flight slot (its internal concurrency is already bounded by the
+// pool size).
 func (h *NetworkHandle) SolveBatch(ctx context.Context, queries []FlowQuery) ([]*FlowResult, error) {
+	rel, err := h.gate.AdmitN(ctx, len(queries))
+	if err != nil {
+		return nil, fmt.Errorf("bcclap: network %q: %w", h.name, err)
+	}
+	defer rel()
+	trace := telemetry.TraceID(ctx)
 	for {
 		solver, ver, c, err := h.snapshot()
 		if err != nil {
@@ -647,6 +790,7 @@ func (h *NetworkHandle) SolveBatch(ctx context.Context, queries []FlowQuery) ([]
 		for i, q := range queries {
 			if res, ok := c.Get(cache.Key{Version: ver, S: q.S, T: q.T}); ok {
 				out[i] = cloneResult(res, true)
+				out[i].Stats.TraceID = trace
 			} else {
 				missIdx = append(missIdx, i)
 				misses = append(misses, q)
@@ -663,9 +807,15 @@ func (h *NetworkHandle) SolveBatch(ctx context.Context, queries []FlowQuery) ([]
 			if err != nil {
 				return nil, err
 			}
+			lc := h.lat.Load()
 			for j, res := range fresh {
+				h.gate.RecordServiceTime(res.Stats.WallTime)
+				if lc != nil {
+					lc.miss.Observe(res.Stats.WallTime.Seconds())
+				}
 				out[missIdx[j]] = res
 				h.store(ver, cache.Key{Version: ver, S: misses[j].S, T: misses[j].T}, res)
+				res.Stats.TraceID = trace
 			}
 		}
 		return out, nil
@@ -692,7 +842,7 @@ func (h *NetworkHandle) Swap(d *Digraph, opts ...Option) error {
 	merged := append(slices.Clone(h.opts), opts...)
 	h.mu.RUnlock()
 	held := d.Clone()
-	solver, cacheSize, err := newTenantSolver(held, merged)
+	solver, cacheSize, lims, err := newTenantSolver(held, merged)
 	if err != nil {
 		return err
 	}
@@ -727,6 +877,10 @@ func (h *NetworkHandle) Swap(d *Digraph, opts ...Option) error {
 		next.CarryCounters(h.cache)
 		h.cache = next
 	}
+	// Re-resolve the QoS limits from the merged options (validated above)
+	// and repoint the hot-path histogram children at the new backend.
+	h.gate.SetLimits(lims)
+	h.lat.Store(h.svc.latFor(h.name, solver.Backend()))
 	h.mu.Unlock()
 	h.svc.swaps.Add(1)
 	// Retire the old solver gracefully: queries that snapshotted it before
@@ -829,20 +983,96 @@ func (h *NetworkHandle) PatchArcs(deltas []ArcDelta) error {
 	return nil
 }
 
+// SetLimits replaces the tenant's QoS limits at runtime (the REST
+// layer's PATCH /v1/networks/{name}/limits). The change is journaled on
+// a durable service — limits survive restarts like any other tenant
+// configuration — and applies to subsequent admissions immediately:
+// tightening never revokes in-flight requests, loosening to unlimited
+// admits every queued waiter. The network version is not bumped (limits
+// do not affect results), so cached entries stay valid. Invalid limits
+// fail with ErrBadLimits before anything changes.
+func (h *NetworkHandle) SetLimits(l Limits) error {
+	if err := l.Validate(); err != nil {
+		return fmt.Errorf("bcclap: network %q: %w", h.name, err)
+	}
+	if l.QueueDepth < 0 {
+		l.QueueDepth = -1 // canonical "queueing disabled"
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return fmt.Errorf("bcclap: network %q: %w", h.name, ErrSolverClosed)
+	}
+	if h.svc.log != nil {
+		// The journaled form uses the option-surface convention (queue
+		// depth 0 = no queue, unset = gate default) so replay rebuilds the
+		// gate through the same WithRateLimit/WithMaxInFlight/
+		// WithQueueDepth path as a fresh registration.
+		tl := store.TenantLimits{
+			Rate:        l.RatePerSec,
+			Burst:       l.Burst,
+			MaxInFlight: l.MaxInFlight,
+			RateSet:     true,
+			InFlightSet: true,
+		}
+		if l.QueueDepth != 0 {
+			tl.QueueSet = true
+			if l.QueueDepth > 0 {
+				tl.QueueDepth = l.QueueDepth
+			}
+		}
+		rec := store.Record{
+			Type: store.RecLimits, Name: h.name, Version: h.version,
+			Opts: store.TenantOpts{Limits: tl},
+		}
+		if err := h.svc.log.Append(rec); err != nil {
+			h.mu.Unlock()
+			return fmt.Errorf("bcclap: set limits %q: %w", h.name, err)
+		}
+	}
+	h.gate.SetLimits(l)
+	// Fold the new limits into the handle's option slice so a later Swap
+	// (which re-resolves limits from h.opts) keeps them.
+	h.opts = append(slices.Clone(h.opts),
+		WithRateLimit(l.RatePerSec, l.Burst),
+		WithMaxInFlight(l.MaxInFlight))
+	switch {
+	case l.QueueDepth > 0:
+		h.opts = append(h.opts, WithQueueDepth(l.QueueDepth))
+	case l.QueueDepth < 0:
+		h.opts = append(h.opts, WithQueueDepth(0))
+	default:
+		h.opts = append(h.opts, WithQueueDepth(admission.DefaultQueueDepth))
+	}
+	h.mu.Unlock()
+	return nil
+}
+
+// Limits returns the tenant's current QoS limit set (zero value when
+// unlimited).
+func (h *NetworkHandle) Limits() Limits { return h.gate.Limits() }
+
+// RetryAfter estimates how long a rejected client should wait before
+// retrying — the predicted admission wait for a request joining the
+// queue now (0 when the gate has no basis for an estimate). The REST
+// layer rounds it up into the Retry-After header on 429 responses.
+func (h *NetworkHandle) RetryAfter() time.Duration { return h.gate.RetryAfter() }
+
 // Stats snapshots the tenant (see NetworkStats).
 func (h *NetworkHandle) Stats() NetworkStats {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	return NetworkStats{
-		Name:     h.name,
-		Version:  h.version,
-		Patches:  h.patches,
-		Vertices: h.d.N(),
-		Arcs:     h.d.M(),
-		Backend:  h.solver.Backend(),
-		PoolSize: h.solver.PoolSize(),
-		Pool:     h.solver.PoolStats(),
-		Cache:    h.cache.Stats(),
+		Name:      h.name,
+		Version:   h.version,
+		Patches:   h.patches,
+		Vertices:  h.d.N(),
+		Arcs:      h.d.M(),
+		Backend:   h.solver.Backend(),
+		PoolSize:  h.solver.PoolSize(),
+		Pool:      h.solver.PoolStats(),
+		Cache:     h.cache.Stats(),
+		Admission: h.gate.Stats(),
 	}
 }
 
@@ -862,4 +1092,180 @@ func (h *NetworkHandle) retire(ctx context.Context) error {
 		return err
 	}
 	return nil
+}
+
+// latChildren are the prebuilt hot-path histogram children for one
+// (tenant, backend) pair: the solve path reaches them with one atomic
+// load and records with no map lookups or allocation.
+type latChildren struct {
+	hit, miss *telemetry.Histogram
+}
+
+// latFor prebuilds the latency children for a tenant and backend (nil
+// with telemetry disabled — callers skip recording on nil).
+func (s *Service) latFor(tenant, backend string) *latChildren {
+	if s.tel == nil {
+		return nil
+	}
+	return &latChildren{
+		hit:  s.tel.solveLatency.With(tenant, backend, "hit"),
+		miss: s.tel.solveLatency.With(tenant, backend, "miss"),
+	}
+}
+
+// serviceTelemetry is the service's metrics registry. Exactly one family
+// — solve latency — is recorded on the serving paths; every other family
+// is a scrape-time collector synthesizing samples from a single
+// ServiceStats snapshot taken in WriteMetrics, so the daemon's whole
+// observability surface costs the hot path nothing.
+type serviceTelemetry struct {
+	reg          *telemetry.Registry
+	solveLatency *telemetry.HistogramVec // {tenant, backend, cache}
+
+	// scrapeMu serializes scrapes; snap is the snapshot the collector
+	// closures read and is only valid while scrapeMu is held.
+	scrapeMu sync.Mutex
+	snap     ServiceStats
+}
+
+func newServiceTelemetry() *serviceTelemetry {
+	t := &serviceTelemetry{reg: telemetry.NewRegistry()}
+	t.solveLatency = t.reg.HistogramVec("bcclap_solve_latency_seconds",
+		"Solve latency by tenant, backend and cache outcome. Misses record the solver-measured wall time of every fresh solve; hits are sampled 1 in 64 to keep the cached path cheap.",
+		nil, "tenant", "backend", "cache")
+	t.registerCollectors()
+	return t
+}
+
+// WriteMetrics renders every metric family in the Prometheus text
+// exposition format, version 0.0.4 (the daemon serves it at
+// GET /metrics). Families and label sets are emitted in sorted order
+// with HELP/TYPE headers even when empty, so the exposed name/type
+// schema is independent of traffic. It fails when the service was built
+// with WithTelemetry(false).
+func (s *Service) WriteMetrics(w io.Writer) error {
+	if s.tel == nil {
+		return errors.New("bcclap: telemetry disabled by WithTelemetry(false)")
+	}
+	t := s.tel
+	t.scrapeMu.Lock()
+	defer t.scrapeMu.Unlock()
+	t.snap = s.ServiceStats()
+	err := t.reg.WritePrometheus(w)
+	t.snap = ServiceStats{}
+	return err
+}
+
+// registerCollectors declares the scrape-time families. Each collector
+// closure reads t.snap, which WriteMetrics populates under scrapeMu
+// before encoding.
+func (t *serviceTelemetry) registerCollectors() {
+	r := t.reg
+	tenant := []string{"tenant"}
+	perNet := func(fn func(emit func(v float64, lv ...string), ns *NetworkStats)) func(emit func(v float64, lv ...string)) {
+		return func(emit func(v float64, lv ...string)) {
+			for i := range t.snap.PerNetwork {
+				fn(emit, &t.snap.PerNetwork[i])
+			}
+		}
+	}
+	gaugeNet := func(name, help string, fn func(ns *NetworkStats) float64) {
+		r.CollectFunc(name, help, "gauge", tenant,
+			perNet(func(emit func(v float64, lv ...string), ns *NetworkStats) { emit(fn(ns), ns.Name) }))
+	}
+	counterNet := func(name, help string, fn func(ns *NetworkStats) float64) {
+		r.CollectFunc(name, help, "counter", tenant,
+			perNet(func(emit func(v float64, lv ...string), ns *NetworkStats) { emit(fn(ns), ns.Name) }))
+	}
+
+	r.CollectFunc("bcclap_networks", "Currently registered networks.", "gauge", nil,
+		func(emit func(v float64, lv ...string)) { emit(float64(t.snap.Networks)) })
+	r.CollectFunc("bcclap_lifecycle_total",
+		"Lifecycle events since the service started; replayed tenants count as registered.",
+		"counter", []string{"op"},
+		func(emit func(v float64, lv ...string)) {
+			emit(float64(t.snap.Registered), "registered")
+			emit(float64(t.snap.Deregistered), "deregistered")
+			emit(float64(t.snap.Swaps), "swapped")
+			emit(float64(t.snap.Patches), "patched")
+		})
+
+	gaugeNet("bcclap_network_version", "Monotonic network version (bumped by Swap and PatchArcs).",
+		func(ns *NetworkStats) float64 { return float64(ns.Version) })
+	counterNet("bcclap_network_patches_total", "Successful PatchArcs calls over the tenant's lifetime.",
+		func(ns *NetworkStats) float64 { return float64(ns.Patches) })
+
+	r.CollectFunc("bcclap_solves_total", "Finished pool solves by outcome.",
+		"counter", []string{"tenant", "result"},
+		perNet(func(emit func(v float64, lv ...string), ns *NetworkStats) {
+			emit(float64(ns.Pool.Completed), ns.Name, "ok")
+			emit(float64(ns.Pool.Failed), ns.Name, "error")
+		}))
+	gaugeNet("bcclap_pool_workers", "Worker sessions behind the tenant's solver pool.",
+		func(ns *NetworkStats) float64 { return float64(ns.Pool.Workers) })
+	gaugeNet("bcclap_pool_in_flight", "Accepted but unfinished pool tasks (queued or running).",
+		func(ns *NetworkStats) float64 { return float64(ns.Pool.InFlight) })
+	counterNet("bcclap_pool_submitted_total", "Queries accepted by the tenant's pool.",
+		func(ns *NetworkStats) float64 { return float64(ns.Pool.Submitted) })
+	counterNet("bcclap_pool_warm_started_total", "Completions that skipped path following via warm start.",
+		func(ns *NetworkStats) float64 { return float64(ns.Pool.WarmStarted) })
+	counterNet("bcclap_pool_patches_total", "Per-worker patch applications.",
+		func(ns *NetworkStats) float64 { return float64(ns.Pool.Patches) })
+
+	counterNet("bcclap_cache_hits_total", "Certified-result cache hits.",
+		func(ns *NetworkStats) float64 { return float64(ns.Cache.Hits) })
+	counterNet("bcclap_cache_misses_total", "Certified-result cache misses.",
+		func(ns *NetworkStats) float64 { return float64(ns.Cache.Misses) })
+	counterNet("bcclap_cache_evictions_total", "Cache entries dropped by budget pressure.",
+		func(ns *NetworkStats) float64 { return float64(ns.Cache.Evictions) })
+	counterNet("bcclap_cache_invalidations_total", "Cache entries dropped by flush or patch invalidation.",
+		func(ns *NetworkStats) float64 { return float64(ns.Cache.Invalidations) })
+	gaugeNet("bcclap_cache_entries", "Current cache entries.",
+		func(ns *NetworkStats) float64 { return float64(ns.Cache.Entries) })
+	gaugeNet("bcclap_cache_capacity", "Cache entry budget (0 = caching disabled).",
+		func(ns *NetworkStats) float64 { return float64(ns.Cache.Capacity) })
+
+	counterNet("bcclap_admission_admitted_total", "Queries admitted by the QoS gate (a batch of k counts k).",
+		func(ns *NetworkStats) float64 { return float64(ns.Admission.Admitted) })
+	counterNet("bcclap_admission_queued_total", "Requests that waited in the admission queue.",
+		func(ns *NetworkStats) float64 { return float64(ns.Admission.Queued) })
+	r.CollectFunc("bcclap_admission_rejected_total", "Admission rejections by reason.",
+		"counter", []string{"tenant", "reason"},
+		perNet(func(emit func(v float64, lv ...string), ns *NetworkStats) {
+			emit(float64(ns.Admission.RejectedQueueFull), ns.Name, "queue_full")
+			emit(float64(ns.Admission.RejectedDeadline), ns.Name, "deadline")
+			emit(float64(ns.Admission.Canceled), ns.Name, "canceled")
+		}))
+	counterNet("bcclap_admission_queue_wait_seconds_total", "Cumulative time requests spent queued for admission.",
+		func(ns *NetworkStats) float64 { return ns.Admission.QueueWait.Seconds() })
+	gaugeNet("bcclap_admission_in_flight", "Currently admitted, unreleased requests.",
+		func(ns *NetworkStats) float64 { return float64(ns.Admission.InFlight) })
+	gaugeNet("bcclap_admission_queue_depth", "Requests currently waiting for admission.",
+		func(ns *NetworkStats) float64 { return float64(ns.Admission.QueueDepth) })
+	gaugeNet("bcclap_admission_rate_limit_per_sec", "Configured sustained admission rate (0 = unlimited).",
+		func(ns *NetworkStats) float64 { return ns.Admission.Limits.RatePerSec })
+	gaugeNet("bcclap_admission_max_in_flight", "Configured in-flight cap (0 = unlimited).",
+		func(ns *NetworkStats) float64 { return float64(ns.Admission.Limits.MaxInFlight) })
+	gaugeNet("bcclap_admission_mean_service_seconds", "EWMA of recent fresh-solve service times (feeds Retry-After).",
+		func(ns *NetworkStats) float64 { return ns.Admission.MeanServiceTime.Seconds() })
+
+	storeSample := func(name, help, typ string, fn func(st *StoreStats) float64) {
+		r.CollectFunc(name, help, typ, nil, func(emit func(v float64, lv ...string)) {
+			if t.snap.Store != nil {
+				emit(fn(t.snap.Store))
+			}
+		})
+	}
+	storeSample("bcclap_store_appends_total", "WAL records appended since the store opened.", "counter",
+		func(st *StoreStats) float64 { return float64(st.Appends) })
+	storeSample("bcclap_store_fsyncs_total", "WAL fsyncs on the append path (0 under SyncNever).", "counter",
+		func(st *StoreStats) float64 { return float64(st.Fsyncs) })
+	storeSample("bcclap_store_snapshots_total", "Successful snapshot compactions.", "counter",
+		func(st *StoreStats) float64 { return float64(st.Snapshots) })
+	storeSample("bcclap_store_snapshot_errors_total", "Failed automatic compactions.", "counter",
+		func(st *StoreStats) float64 { return float64(st.SnapshotErrors) })
+	storeSample("bcclap_store_replayed_records", "WAL records replayed on top of the newest snapshot at the last open.", "gauge",
+		func(st *StoreStats) float64 { return float64(st.Replayed) })
+	storeSample("bcclap_store_wal_bytes", "Current WAL file size.", "gauge",
+		func(st *StoreStats) float64 { return float64(st.WALBytes) })
 }

@@ -64,6 +64,12 @@ type Stats struct {
 	CacheHit bool
 	// Backend is the AᵀDA backend name in use (flow/LP sessions).
 	Backend string
+	// TraceID is the request-scoped trace identifier threaded from the
+	// serving boundary (16 hex digits, minted per HTTP request or set via
+	// telemetry.WithTraceID on the query context). Empty on direct solver
+	// queries without a trace context. Never cached: a hit carries the
+	// requesting call's trace, not the one that populated the entry.
+	TraceID string
 }
 
 // FlowQuery is one (source, sink) pair for FlowSolver.SolveBatch.
